@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race bench study figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/des/ ./internal/mfact/ ./internal/simnet/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full 235-trace study (Tables I-II, Figures 1-5, Table IV, rates).
+study:
+	$(GO) run ./cmd/tradeoff -save results/results.json -figdir results/figures | tee results/study.txt
+	$(GO) run ./cmd/predictor -load results/results.json | tee results/prediction.txt
+	$(GO) run ./cmd/diffreport -load results/results.json > results/diffreport.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

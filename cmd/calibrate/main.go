@@ -1,0 +1,45 @@
+// Command calibrate fits Hockney (α, β) parameters for a machine by
+// running ping-pong benchmarks on its detailed simulator — the way
+// MFACT's parameters are obtained on real systems — and compares them
+// with the configured data-sheet values.
+//
+// Usage:
+//
+//	calibrate -machine edison [-ranks 48] [-model packetflow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/mfact"
+	"hpctradeoff/internal/simnet"
+)
+
+func main() {
+	machName := flag.String("machine", "edison", "machine to calibrate")
+	ranks := flag.Int("ranks", 48, "job size used for the ping-pong")
+	model := flag.String("model", "packetflow", "simulation model to measure against")
+	flag.Parse()
+
+	mach, err := machine.New(*machName, *ranks, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	cal, err := mfact.Calibrate(mach, simnet.Model(*model), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine %s (%s), measured with the %s model:\n\n", mach.Name, mach.Topo.Name(), *model)
+	fmt.Printf("  %-12s %-14s\n", "bytes", "one-way time")
+	for _, s := range cal.Samples {
+		fmt.Printf("  %-12d %-14v\n", s.Bytes, s.OneWay)
+	}
+	fmt.Printf("\n  fitted α  %v   (configured %v)\n", cal.Alpha, mach.Alpha)
+	fmt.Printf("  fitted β  %.3g GB/s (configured %.3g GB/s)\n", cal.Beta/1e9, mach.Beta/1e9)
+	fmt.Println("\nUse Calibration.Apply to model with the fitted parameters.")
+}

@@ -1,0 +1,83 @@
+// Command diffreport lists per-trace modeling-vs-simulation
+// discrepancies from a saved study run: the largest DIFFtotal values,
+// and the traces that straddle the 2% need-for-simulation threshold on
+// the wrong side of the naive classification (the cases the paper's
+// Section VI-B4 discussion attributes misclassifications to).
+//
+// Usage:
+//
+//	diffreport -load results.json [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hpctradeoff/internal/classifier"
+	"hpctradeoff/internal/core"
+	"hpctradeoff/internal/simnet"
+)
+
+func main() {
+	load := flag.String("load", "", "results JSON from cmd/tradeoff -save")
+	top := flag.Int("top", 25, "how many rows per section")
+	flag.Parse()
+	if *load == "" {
+		fmt.Fprintln(os.Stderr, "usage: diffreport -load results.json")
+		os.Exit(2)
+	}
+	rs, err := core.LoadResultsFile(*load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffreport:", err)
+		os.Exit(1)
+	}
+
+	type row struct {
+		id           string
+		signed, diff float64
+		bw, lat, wt  float64
+		grp          core.Group
+	}
+	var rows []row
+	for _, r := range rs {
+		d, ok := r.DiffTotal(simnet.PacketFlow)
+		if !ok || r.Model == nil {
+			continue
+		}
+		signed := float64(r.Sims[simnet.PacketFlow].Total)/float64(r.Model.Total()) - 1
+		rows = append(rows, row{
+			id: r.ID, signed: signed, diff: d,
+			bw: r.Model.BandwidthSensitivity(), lat: r.Model.LatencySensitivity(),
+			wt: r.Model.WaitFraction(), grp: r.Group(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].diff > rows[j].diff })
+
+	fmt.Printf("largest |DIFFtotal| (packet-flow vs MFACT), %d traces total:\n", len(rows))
+	fmt.Printf("  %-30s %-9s %-7s %-7s %-6s %s\n", "trace", "DIFF", "bwSens", "latSens", "wait", "group")
+	for i, r := range rows {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-30s %+8.2f%% %6.2f  %6.2f  %5.2f  %s\n",
+			r.id, 100*r.signed, r.bw, r.lat, r.wt, r.grp)
+	}
+
+	thr := classifier.NeedSimThreshold
+	fn, fp := 0, 0
+	fmt.Printf("\nnaive-rule mismatches (threshold %.0f%%):\n", 100*thr)
+	for _, r := range rows {
+		cs := r.grp == core.GroupCommSensitive
+		switch {
+		case !cs && r.diff > thr:
+			fn++
+		case cs && r.diff <= thr:
+			fp++
+		}
+	}
+	fmt.Printf("  false negatives (ncs but DIFF > %.0f%%): %d\n", 100*thr, fn)
+	fmt.Printf("  false positives (cs but DIFF ≤ %.0f%%):  %d\n", 100*thr, fp)
+	fmt.Printf("  naive success rate: %.1f%%\n", 100*float64(len(rows)-fn-fp)/float64(max(len(rows), 1)))
+}

@@ -1,0 +1,69 @@
+// Command predictor runs the paper's Section VI study: it groups the
+// traces by MFACT classification (Figure 5), trains the enhanced-MFACT
+// need-for-simulation model with 100-fold Monte-Carlo cross-validation
+// and step-wise AIC feature selection, and prints Table IV and the
+// misclassification/FN/FP rates.
+//
+// Usage:
+//
+//	predictor -load results.json       # reuse a cmd/tradeoff run
+//	predictor -stride 4 -maxranks 256  # run its own reduced suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hpctradeoff/internal/core"
+	"hpctradeoff/internal/workload"
+)
+
+func main() {
+	stride := flag.Int("stride", 1, "keep every Nth manifest entry")
+	maxRanks := flag.Int("maxranks", 0, "skip traces larger than this (0 = no cap)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel trace workers")
+	load := flag.String("load", "", "load results JSON instead of running the suite")
+	save := flag.String("save", "", "save results JSON to this path")
+	runs := flag.Int("runs", 100, "Monte-Carlo cross-validation partitions")
+	maxVars := flag.Int("maxvars", 5, "step-wise selection variable cap")
+	seed := flag.Int64("seed", 2016, "cross-validation seed")
+	flag.Parse()
+
+	var rs []*core.TraceResult
+	var err error
+	if *load != "" {
+		rs, err = core.LoadResultsFile(*load)
+	} else {
+		suite := workload.SuiteSmall(*stride, *maxRanks)
+		fmt.Printf("running %d traces with %d workers...\n", len(suite), *workers)
+		start := time.Now()
+		rs, err = core.RunSuite(suite, *workers, nil)
+		if err == nil {
+			fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Second))
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predictor:", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		if err := core.SaveResultsFile(*save, rs); err != nil {
+			fmt.Fprintln(os.Stderr, "predictor:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println(core.BuildFigure5(rs).Render())
+
+	study, err := core.BuildPredictionStudy(rs, *runs, *maxVars, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predictor:", err)
+		os.Exit(1)
+	}
+	fmt.Println(study.RenderTable4(10))
+	fmt.Println()
+	fmt.Println(study.RenderRates())
+}

@@ -1,0 +1,89 @@
+// Command sstsim replays an MPI trace on a discrete-event network
+// simulation at packet, flow, or packet-flow granularity (the
+// SST/Macro-analog side of the study).
+//
+// Usage:
+//
+//	sstsim -model packetflow trace.htrc
+//	sstsim -model packet -app FT -ranks 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "packetflow", "network model: packet, flow, or packetflow")
+	packetBytes := flag.Int64("packet", 0, "packet size in bytes (0 = model default)")
+	app := flag.String("app", "", "generate a synthetic trace for this app")
+	class := flag.String("class", "B", "problem class for -app")
+	ranks := flag.Int("ranks", 64, "rank count for -app")
+	machName := flag.String("machine", "edison", "target machine")
+	seed := flag.Int64("seed", 1, "seed for -app")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	if *app != "" {
+		tr, err = workload.Materialize(workload.Params{
+			App: *app, Class: *class, Ranks: *ranks, Machine: *machName, Seed: *seed,
+		})
+	} else if flag.Arg(0) != "" {
+		tr, err = readTrace(flag.Arg(0))
+	} else {
+		err = fmt.Errorf("need a trace file argument or -app")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sstsim:", err)
+		os.Exit(1)
+	}
+	mach, err := machine.New(tr.Meta.Machine, tr.Meta.NumRanks, tr.Meta.RanksPerNode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sstsim:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res, err := mpisim.Replay(tr, simnet.Model(*model), mach, simnet.Config{PacketBytes: *packetBytes}, mpisim.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sstsim:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("trace        %s (%d ranks, %d events)\n", tr.Meta.ID(), tr.Meta.NumRanks, tr.NumEvents())
+	fmt.Printf("machine      %s on %s\n", mach.Name, mach.Topo.Name())
+	fmt.Printf("model        %s\n", res.Model)
+	fmt.Printf("simulated in %v (%d DES events)\n", wall.Round(time.Millisecond), res.Events)
+	fmt.Printf("\nestimated total time  %v\n", res.Total)
+	fmt.Printf("estimated comm time   %v\n", res.Comm)
+	if m := tr.MeasuredTotal(); m > 0 {
+		fmt.Printf("measured total time   %v (prediction/measured = %.3f)\n",
+			m, float64(res.Total)/float64(m))
+	}
+	s := res.Net
+	fmt.Printf("\nnetwork: %d messages, %d packets, %d flow updates, %.1f MB injected\n",
+		s.Messages, s.Packets, s.FlowUpdates, float64(s.BytesSent)/1e6)
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return tr, tr.Validate()
+}

@@ -1,0 +1,89 @@
+// Command traceinfo inspects a trace file: metadata, event and
+// operation counts, measured times, and the Table III feature vector.
+//
+// Usage:
+//
+//	traceinfo trace.htrc [more.htrc ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpctradeoff/internal/features"
+	"hpctradeoff/internal/trace"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print the full Table III feature vector")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-v] trace.htrc ...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := describe(path, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func describe(path string, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("invalid trace: %w", err)
+	}
+
+	fmt.Printf("%s\n", path)
+	fmt.Printf("  id            %s\n", tr.Meta.ID())
+	fmt.Printf("  ranks         %d (%d per node)\n", tr.Meta.NumRanks, tr.Meta.RanksPerNode)
+	fmt.Printf("  machine       %s\n", tr.Meta.Machine)
+	fmt.Printf("  seed          %d\n", tr.Meta.Seed)
+	fmt.Printf("  capabilities  commSplit=%v threadMultiple=%v\n",
+		tr.Meta.UsesCommSplit, tr.Meta.UsesThreadMultiple)
+	fmt.Printf("  communicators %d\n", tr.Comms.Len())
+	fmt.Printf("  events        %d\n", tr.NumEvents())
+	fmt.Printf("  measured      total %v, comm %v (%.1f%%)\n",
+		tr.MeasuredTotal(), tr.MeasuredComm(), 100*tr.CommFraction())
+
+	counts := map[trace.Op]int{}
+	var bytes int64
+	for _, evs := range tr.Ranks {
+		for i := range evs {
+			counts[evs[i].Op]++
+			nMembers := 0
+			if evs[i].Op.IsCollective() {
+				nMembers = tr.Comms.Size(evs[i].Comm)
+			}
+			bytes += evs[i].TotalSendBytes(nMembers)
+		}
+	}
+	fmt.Printf("  bytes sent    %.2f MB\n", float64(bytes)/1e6)
+	fmt.Printf("  operations   ")
+	for op := trace.Op(0); int(op) < 32; op++ {
+		if c := counts[op]; c > 0 {
+			fmt.Printf(" %s=%d", op, c)
+		}
+	}
+	fmt.Println()
+
+	if verbose {
+		fmt.Println("  features (Table III, MFACT classification omitted):")
+		v := features.Extract(tr, nil)
+		names := features.Names()
+		for i, n := range names {
+			fmt.Printf("    %-8s %.6g\n", n, v[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+// Command tradeoff runs the paper's Section V study: it materializes
+// the trace suite, runs MFACT modeling and the three SST/Macro-analog
+// simulations on every trace, and prints Table I, Table II, and
+// Figures 1–4.
+//
+// Usage:
+//
+//	tradeoff                          # full 235-trace study
+//	tradeoff -stride 8 -maxranks 256  # quick reduced study
+//	tradeoff -save results.json       # persist results for cmd/predictor
+//	tradeoff -load results.json       # re-render from saved results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hpctradeoff/internal/core"
+	"hpctradeoff/internal/workload"
+)
+
+func main() {
+	stride := flag.Int("stride", 1, "keep every Nth manifest entry")
+	maxRanks := flag.Int("maxranks", 0, "skip traces larger than this (0 = no cap)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel trace workers")
+	minWall := flag.Duration("minwall", 20*time.Millisecond,
+		"Figure 1 drops traces whose slowest simulation is below this (the paper drops sub-second runs)")
+	save := flag.String("save", "", "save results JSON to this path")
+	load := flag.String("load", "", "load results JSON instead of running the suite")
+	figDir := flag.String("figdir", "", "write the figures as SVG files into this directory")
+	quiet := flag.Bool("q", false, "suppress per-trace progress")
+	flag.Parse()
+
+	var rs []*core.TraceResult
+	var err error
+	if *load != "" {
+		rs, err = core.LoadResultsFile(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(1)
+		}
+	} else {
+		suite := workload.SuiteSmall(*stride, *maxRanks)
+		fmt.Printf("running %d traces with %d workers...\n", len(suite), *workers)
+		start := time.Now()
+		progress := func(done, total int, r *core.TraceResult) {
+			if *quiet || r == nil {
+				return
+			}
+			fmt.Printf("[%3d/%3d] %-36s measured=%-12v model=%v\n",
+				done, total, r.ID, r.Measured, r.ModelWall.Round(time.Microsecond))
+		}
+		rs, err = core.RunSuite(suite, *workers, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Second))
+	}
+
+	if *save != "" {
+		if err := core.SaveResultsFile(*save, rs); err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("results saved to %s\n\n", *save)
+	}
+
+	fmt.Println(core.BuildTable1(rs).Render())
+	fmt.Println()
+
+	t2 := core.BuildTable2(rs, map[string]int{"CMC": 1024, "LULESH": 512, "MiniFE": 1152})
+	if len(t2) > 0 {
+		fmt.Println(core.RenderTable2(t2))
+		fmt.Println()
+	}
+
+	fmt.Println(core.BuildFigure1(rs, *minWall).Render())
+	fmt.Println()
+	fmt.Println(core.BuildFigure2(rs).Render())
+
+	nas := []string{"CG", "MG", "FT", "IS", "LU", "BT", "EP", "DT"}
+	doe := []string{"BigFFT", "CrystalRouter", "AMG", "MiniFE", "LULESH", "CNS", "CMC", "Nekbone", "MultiGrid", "FillBoundary"}
+	fmt.Println(core.RenderAppAccuracy("Figure 3: NAS benchmarks (packet-flow vs MFACT, and vs measured)", core.BuildAppAccuracy(rs, nas)))
+	fmt.Println()
+	fmt.Println(core.RenderAppAccuracy("Figure 4: DOE applications (packet-flow vs MFACT, and vs measured)", core.BuildAppAccuracy(rs, doe)))
+
+	if *figDir != "" {
+		paths, err := core.WriteFigures(*figDir, rs, *minWall)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d SVG figures to %s\n", len(paths), *figDir)
+	}
+}

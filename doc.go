@@ -1,0 +1,9 @@
+// Package hpctradeoff is a from-scratch Go reproduction of Tong, Yuan,
+// Pakin & Lang, "Performance and Accuracy Trade-offs of HPC Application
+// Modeling and Simulation" (IPDPS 2018).
+//
+// The implementation lives in internal/ (see DESIGN.md for the system
+// inventory); runnable tools are under cmd/ and examples/. The
+// top-level bench_test.go regenerates every table and figure of the
+// paper's evaluation on a reduced suite.
+package hpctradeoff

@@ -1,0 +1,52 @@
+// Tradeoffstudy: a miniature version of the paper's Section V study —
+// run modeling and all three simulation granularities over a reduced
+// application suite and print the performance/accuracy comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpctradeoff/internal/core"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/workload"
+)
+
+func main() {
+	// A reduced suite: one trace per application at 32 ranks.
+	var suite []workload.Params
+	for i, app := range workload.Apps() {
+		suite = append(suite, workload.Params{
+			App:     app,
+			Class:   "A",
+			Ranks:   32,
+			Machine: []string{"cielito", "hopper", "edison"}[i%3],
+			Seed:    int64(100 + i),
+		})
+	}
+
+	fmt.Printf("running %d traces (4 schemes each)...\n\n", len(suite))
+	results, err := core.RunSuite(suite, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-15s %-9s %-22s %-12s %-12s %-8s\n",
+		"app", "commFrac", "class", "model wall", "pflow wall", "DIFF")
+	for _, r := range results {
+		d, _ := r.DiffTotal(simnet.PacketFlow)
+		fmt.Printf("%-15s %-9.2f %-22v %-12v %-12v %+.2f%%\n",
+			r.Params.App, r.CommFraction, r.Model.Class,
+			r.ModelWall.Round(time.Microsecond),
+			r.Sims[simnet.PacketFlow].Wall.Round(time.Microsecond),
+			100*d)
+	}
+
+	fmt.Println()
+	fmt.Println(core.BuildFigure1(results, 0).Render())
+	fmt.Println()
+	fmt.Println(core.BuildFigure2(results).Render())
+	fmt.Println()
+	fmt.Println(core.BuildFigure5(results).Render())
+}

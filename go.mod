@@ -1,0 +1,3 @@
+module hpctradeoff
+
+go 1.24

@@ -1,0 +1,115 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpctradeoff/internal/features"
+)
+
+// synthObs fabricates a plausible observation population: comm-
+// sensitive traces mostly need simulation, insensitive ones mostly do
+// not, with some overlap controlled by PoSYN and rank count (echoing
+// the paper's selected predictors).
+func synthObs(n int, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	nf := len(features.Names())
+	iCL := features.Index("CLncs")
+	iPoSYN := features.Index("PoSYN")
+	iR := features.Index("R")
+	var out []Observation
+	for i := 0; i < n; i++ {
+		x := make([]float64, nf)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		cs := rng.Float64() < 0.45
+		if cs {
+			x[iCL] = 0
+		} else {
+			x[iCL] = 1
+		}
+		x[iPoSYN] = rng.Float64() * 0.5
+		x[iR] = float64(int(64) << rng.Intn(5))
+		// DIFF generative model: sensitive + high ranks + low PoSYN →
+		// larger DIFF.
+		diff := 0.002 + 0.004*rng.Float64()
+		if cs {
+			diff += 0.04*rng.Float64() + 0.03*(x[iR]/1024) - 0.02*x[iPoSYN]
+			if diff < 0 {
+				diff = 0.001
+			}
+		}
+		out = append(out, Observation{ID: "synth", X: x, DiffTotal: diff})
+	}
+	return out
+}
+
+func TestLabeling(t *testing.T) {
+	if (Observation{DiffTotal: 0.019}).NeedsSimulation() {
+		t.Error("1.9% should not need simulation")
+	}
+	if !(Observation{DiffTotal: 0.021}).NeedsSimulation() {
+		t.Error("2.1% should need simulation")
+	}
+}
+
+func TestBuildDatasetValidation(t *testing.T) {
+	obs := synthObs(20, 1)
+	d, err := BuildDataset(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 20 || len(d.Cols) != 35 {
+		t.Fatalf("dataset %dx%d", d.Len(), len(d.Cols))
+	}
+	obs[0].X = obs[0].X[:10]
+	if _, err := BuildDataset(obs); err == nil {
+		t.Error("short feature vector accepted")
+	}
+}
+
+func TestNaiveVsTrainedModel(t *testing.T) {
+	obs := synthObs(235, 7)
+	naive := NaiveSuccessRate(obs)
+	if naive < 0.5 || naive > 0.98 {
+		t.Fatalf("naive success rate = %v, expected informative baseline", naive)
+	}
+	m, err := Train(obs, 40, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := m.SuccessRate()
+	if sr < naive-0.02 {
+		t.Errorf("trained success %v worse than naive %v", sr, naive)
+	}
+	// CL must be the dominant predictor, as in Table IV.
+	ranked := m.CV.Ranked()
+	if len(ranked) == 0 || ranked[0].Name != "CLncs" {
+		t.Errorf("top feature = %+v, want CLncs", ranked[:min(3, len(ranked))])
+	}
+	if ranked[0].MeanCoef >= 0 {
+		t.Errorf("CLncs coefficient = %v, want negative (ncs → no simulation)", ranked[0].MeanCoef)
+	}
+	// Prediction from a full vector must work.
+	pred := m.NeedsSimulation(obs[0].X)
+	_ = pred
+	if got := m.CV.TrimmedFN(); got < 0 || got > 1 {
+		t.Errorf("FN rate = %v", got)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	obs := synthObs(120, 3)
+	a, err := Train(obs, 20, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(obs, 20, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SuccessRate() != b.SuccessRate() {
+		t.Error("training not deterministic")
+	}
+}

@@ -1,0 +1,218 @@
+// Package core orchestrates the study: it materializes traces from the
+// workload manifest, runs MFACT modeling and the three SST/Macro-analog
+// simulations on each, and aggregates the results into the paper's
+// tables and figures (performance ratios, accuracy CDFs, per-app
+// comparisons, classification groups, and the need-for-simulation
+// predictor's training data).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hpctradeoff/internal/features"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/mfact"
+	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/workload"
+)
+
+// SimOutcome records one simulation backend's run on one trace.
+type SimOutcome struct {
+	// OK is false when the backend cannot replay the trace (the
+	// SST/Macro 3.0 capability gaps) or the replay failed.
+	OK  bool
+	Err string
+	// Total and Comm are the predicted application and communication
+	// times.
+	Total, Comm simtime.Time
+	// Events is the number of DES events executed.
+	Events uint64
+	// Wall is the wall-clock execution time of the simulation.
+	Wall time.Duration
+}
+
+// TraceResult bundles everything the study measures for one trace.
+type TraceResult struct {
+	Params workload.Params
+	ID     string
+
+	// Measured times stamped by the ground-truth executor.
+	Measured     simtime.Time
+	MeasuredComm simtime.Time
+	CommFraction float64
+	Events       int
+
+	// Model is the MFACT result (baseline = as-configured machine).
+	Model *mfact.Result
+	// ModelWall is MFACT's wall-clock modeling time.
+	ModelWall time.Duration
+
+	// Sims holds the three simulation outcomes keyed by model name.
+	Sims map[simnet.Model]SimOutcome
+
+	// Features is the Table III vector (filled when the run succeeds).
+	Features []float64
+}
+
+// DiffTotal returns |T_sim/T_model − 1| for the given backend, and
+// whether it is defined (backend succeeded).
+func (tr *TraceResult) DiffTotal(m simnet.Model) (float64, bool) {
+	s, ok := tr.Sims[m]
+	if !ok || !s.OK || tr.Model == nil || tr.Model.Total() <= 0 {
+		return 0, false
+	}
+	d := float64(s.Total)/float64(tr.Model.Total()) - 1
+	if d < 0 {
+		d = -d
+	}
+	return d, true
+}
+
+// DiffComm is DiffTotal for communication time.
+func (tr *TraceResult) DiffComm(m simnet.Model) (float64, bool) {
+	s, ok := tr.Sims[m]
+	if !ok || !s.OK || tr.Model == nil || tr.Model.Comm() <= 0 {
+		return 0, false
+	}
+	d := float64(s.Comm)/float64(tr.Model.Comm()) - 1
+	if d < 0 {
+		d = -d
+	}
+	return d, true
+}
+
+// Group is the Section VI grouping of applications.
+type Group string
+
+// The three groups of Figure 5.
+const (
+	GroupCommSensitive Group = "communication-sensitive"
+	GroupComputation   Group = "computation-bound"
+	GroupImbalance     Group = "load-imbalance-bound"
+)
+
+// Group buckets the trace per the paper's rule: communication-
+// sensitive if the modeled total rises >5% under 8× bandwidth
+// reduction; otherwise split by the wait fraction (the share of
+// logical time spent waiting for peers).
+func (tr *TraceResult) Group() Group {
+	if tr.Model == nil {
+		return GroupComputation
+	}
+	if tr.Model.CommSensitive() {
+		return GroupCommSensitive
+	}
+	if tr.Model.WaitFraction() > imbalanceGroupWait {
+		return GroupImbalance
+	}
+	return GroupComputation
+}
+
+// imbalanceGroupWait is the wait-fraction cut separating the
+// load-imbalance-bound group from the computation-bound group among
+// network-insensitive applications.
+const imbalanceGroupWait = 0.08
+
+// RunOne materializes the trace for p and runs all four schemes on it.
+func RunOne(p workload.Params) (*TraceResult, error) {
+	t, err := workload.Materialize(p)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	return RunOnTrace(t, mach, p)
+}
+
+// RunOnTrace runs the four schemes on an already-materialized trace.
+func RunOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params) (*TraceResult, error) {
+	res := &TraceResult{
+		Params:       p,
+		ID:           t.Meta.ID(),
+		Measured:     t.MeasuredTotal(),
+		MeasuredComm: t.MeasuredComm(),
+		CommFraction: t.CommFraction(),
+		Events:       t.NumEvents(),
+		Sims:         make(map[simnet.Model]SimOutcome),
+	}
+
+	start := time.Now()
+	model, err := mfact.Model(t, mach, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: modeling %s: %w", res.ID, err)
+	}
+	res.ModelWall = time.Since(start)
+	res.Model = model
+
+	for _, m := range simnet.Models() {
+		start := time.Now()
+		sim, err := mpisim.Replay(t, m, mach, simnet.Config{}, mpisim.Options{})
+		if err != nil {
+			res.Sims[m] = SimOutcome{OK: false, Err: err.Error(), Wall: time.Since(start)}
+			continue
+		}
+		res.Sims[m] = SimOutcome{
+			OK:     true,
+			Total:  sim.Total,
+			Comm:   sim.Comm,
+			Events: sim.Events,
+			Wall:   time.Since(start),
+		}
+	}
+
+	res.Features = features.Extract(t, model)
+	return res, nil
+}
+
+// RunSuite runs the given manifest with a worker pool (both tools use
+// all cores on the study machine). progress, if non-nil, is called
+// after each trace completes.
+func RunSuite(ps []workload.Params, workers int, progress func(done, total int, r *TraceResult)) ([]*TraceResult, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	results := make([]*TraceResult, len(ps))
+	errs := make([]error, len(ps))
+	var mu sync.Mutex
+	done := 0
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := RunOne(ps[i])
+				results[i], errs[i] = r, err
+				mu.Lock()
+				done++
+				if progress != nil {
+					progress(done, len(ps), r)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range ps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: trace %s.%s.x%d.%s: %w",
+				ps[i].App, ps[i].Class, ps[i].Ranks, ps[i].Machine, err)
+		}
+	}
+	return results, nil
+}

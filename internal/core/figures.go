@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hpctradeoff/internal/metrics"
+	"hpctradeoff/internal/simnet"
+)
+
+// WriteFigures renders the study's figures as SVG files into dir:
+// figure1.svg (performance ratio buckets), figure2a/2b.svg (accuracy
+// CDFs), figure3/4.svg (per-app accuracy), figure5.svg (DIFF by
+// group). It returns the written paths.
+func WriteFigures(dir string, rs []*TraceResult, minWall time.Duration) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	put := func(name, svg string) error {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		written = append(written, p)
+		return nil
+	}
+
+	// Figure 1: cumulative ratio buckets as grouped bars.
+	f1 := BuildFigure1(rs, minWall)
+	groups := []string{"<=10x", "<=100x", "<=1000x", ">1000x"}
+	var names []string
+	var vals [][]float64
+	for gi := range groups {
+		row := make([]float64, 0, 3)
+		for _, m := range simnet.Models() {
+			row = append(row, 100*f1.Buckets[m][gi])
+		}
+		vals = append(vals, row)
+	}
+	for _, m := range simnet.Models() {
+		names = append(names, string(m))
+	}
+	if err := put("figure1.svg", metrics.BarChart(
+		fmt.Sprintf("Figure 1: simulation time as multiples of MFACT time (%d traces)", f1.Used),
+		"% of traces", groups, names, vals)); err != nil {
+		return nil, err
+	}
+
+	// Figure 2: accuracy CDFs.
+	f2 := BuildFigure2(rs)
+	mkCDF := func(title string, data map[simnet.Model]metrics.CDF) string {
+		var ss []metrics.Series
+		for _, m := range simnet.Models() {
+			ss = append(ss, metrics.CDFSeriesPoints(string(m), data[m], 0.5, 100, 100))
+		}
+		return metrics.LineChart(title, "|difference vs MFACT| (%)", "cumulative % of traces", ss)
+	}
+	if err := put("figure2a.svg", mkCDF("Figure 2(a): estimated communication time", f2.CommDiff)); err != nil {
+		return nil, err
+	}
+	if err := put("figure2b.svg", mkCDF("Figure 2(b): estimated total time", f2.TotalDiff)); err != nil {
+		return nil, err
+	}
+
+	// Figures 3 and 4: per-app max differences and normalized totals.
+	mkApp := func(title string, rows []AppAccuracy) (string, string) {
+		var groups []string
+		var diffs, norm [][]float64
+		for _, r := range rows {
+			groups = append(groups, r.App)
+			diffs = append(diffs, []float64{100 * r.MaxCommDiff, 100 * r.MaxTotalDiff})
+			norm = append(norm, []float64{r.SimOverMeasured, r.ModelOverMeasured})
+		}
+		a := metrics.BarChart(title+" — max difference vs MFACT", "%", groups,
+			[]string{"comm time", "total time"}, diffs)
+		b := metrics.BarChart(title+" — predictions normalized to measured", "prediction / measured", groups,
+			[]string{"packet-flow sim", "MFACT model"}, norm)
+		return a, b
+	}
+	nas := []string{"CG", "MG", "FT", "IS", "LU", "BT", "EP", "DT"}
+	doe := []string{"BigFFT", "CrystalRouter", "AMG", "MiniFE", "LULESH", "CNS", "CMC", "Nekbone", "MultiGrid", "FillBoundary"}
+	a3, b3 := mkApp("Figure 3: NAS benchmarks", BuildAppAccuracy(rs, nas))
+	if err := put("figure3ab.svg", a3); err != nil {
+		return nil, err
+	}
+	if err := put("figure3c.svg", b3); err != nil {
+		return nil, err
+	}
+	a4, b4 := mkApp("Figure 4: DOE applications", BuildAppAccuracy(rs, doe))
+	if err := put("figure4ab.svg", a4); err != nil {
+		return nil, err
+	}
+	if err := put("figure4c.svg", b4); err != nil {
+		return nil, err
+	}
+
+	// Figure 5: DIFF CDF per application group.
+	f5 := BuildFigure5(rs)
+	var ss []metrics.Series
+	for _, g := range []Group{GroupComputation, GroupImbalance, GroupCommSensitive} {
+		ss = append(ss, metrics.CDFSeriesPoints(string(g), f5.Groups[g], 0.3, 100, 100))
+	}
+	if err := put("figure5.svg", metrics.LineChart(
+		"Figure 5: |DIFFtotal| by application group", "|DIFFtotal| (%)", "cumulative % of traces", ss)); err != nil {
+		return nil, err
+	}
+	return written, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Results files let the §V study (cmd/tradeoff) and the §VI study
+// (cmd/predictor) share one expensive suite run.
+
+// resultsFile is the on-disk envelope.
+type resultsFile struct {
+	Version int            `json:"version"`
+	Results []*TraceResult `json:"results"`
+}
+
+const resultsVersion = 1
+
+// SaveResults writes results as JSON.
+func SaveResults(w io.Writer, rs []*TraceResult) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(resultsFile{Version: resultsVersion, Results: rs})
+}
+
+// LoadResults reads a results file written by SaveResults.
+func LoadResults(r io.Reader) ([]*TraceResult, error) {
+	var f resultsFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding results: %w", err)
+	}
+	if f.Version != resultsVersion {
+		return nil, fmt.Errorf("core: results version %d, want %d", f.Version, resultsVersion)
+	}
+	return f.Results, nil
+}
+
+// SaveResultsFile writes results to path.
+func SaveResultsFile(path string, rs []*TraceResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveResults(f, rs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadResultsFile reads results from path.
+func LoadResultsFile(path string) ([]*TraceResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadResults(f)
+}

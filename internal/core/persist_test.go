@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpctradeoff/internal/workload"
+)
+
+func TestResultsRoundTrip(t *testing.T) {
+	p := workload.Params{App: "MG", Class: "S", Ranks: 16, Machine: "edison", Seed: 3}
+	r, err := RunOne(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveResults(&buf, []*TraceResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d results", len(got))
+	}
+	g := got[0]
+	if g.ID != r.ID || g.Measured != r.Measured || g.ModelWall != r.ModelWall {
+		t.Errorf("scalar fields differ: %+v vs %+v", g.ID, r.ID)
+	}
+	if !reflect.DeepEqual(g.Model.Totals, r.Model.Totals) {
+		t.Error("model totals differ after round trip")
+	}
+	if !reflect.DeepEqual(g.Features, r.Features) {
+		t.Error("features differ after round trip")
+	}
+	if !reflect.DeepEqual(g.Sims, r.Sims) {
+		t.Error("sim outcomes differ after round trip")
+	}
+	// The reloaded results must drive the experiment builders.
+	if d1, ok1 := r.DiffTotal("packetflow"); ok1 {
+		d2, ok2 := g.DiffTotal("packetflow")
+		if !ok2 || d1 != d2 {
+			t.Errorf("DiffTotal diverges: %v/%v vs %v/%v", d1, ok1, d2, ok2)
+		}
+	}
+	if g.Group() != r.Group() {
+		t.Errorf("group diverges: %v vs %v", g.Group(), r.Group())
+	}
+}
+
+func TestResultsFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	p := workload.Params{App: "EP", Class: "S", Ranks: 8, Machine: "cielito", Seed: 1}
+	r, err := RunOne(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveResultsFile(path, []*TraceResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadResultsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != r.ID {
+		t.Fatalf("reload mismatch: %+v", got)
+	}
+	if _, err := LoadResultsFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadResultsRejectsGarbage(t *testing.T) {
+	if _, err := LoadResults(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadResults(strings.NewReader(`{"version":99,"results":[]}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package des
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// BenchmarkSequentialEngine measures raw event throughput of the
+// event-heap engine (schedule + dispatch of a self-perpetuating chain).
+func BenchmarkSequentialEngine(b *testing.B) {
+	var e Engine
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(simtime.Nanosecond, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, step)
+	e.Run()
+}
+
+// BenchmarkSequentialEngineFanout measures heap behaviour under wide
+// fan-out (many events resident at once).
+func BenchmarkSequentialEngineFanout(b *testing.B) {
+	var e Engine
+	for i := 0; i < b.N; i++ {
+		e.At(simtime.Time(i%1024), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkParallelCMB runs the PHOLD-style workload on the
+// conservative null-message engine with varying LP counts — the
+// ablation for the "conservative PDES engine" design choice. On a
+// single-core host the parallel engine shows its synchronization
+// overhead; with cores it shows speedup.
+func BenchmarkParallelCMB(b *testing.B) {
+	for _, lps := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("lps=%d", lps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				la := simtime.Microsecond
+				p, err := NewParallel(lps, la)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var s, c atomic.Int64
+				const actors = 16
+				ids := make([]ActorID, actors)
+				as := make([]*pholdActor, actors)
+				for j := range as {
+					as[j] = &pholdActor{id: j, la: la, sum: &s, count: &c}
+					ids[j] = p.AddActor(as[j], j%lps)
+				}
+				for _, a := range as {
+					a.peers = ids
+				}
+				for j := 0; j < actors; j++ {
+					p.ScheduleInitial(ids[j], 0, 500)
+				}
+				p.Run()
+			}
+		})
+	}
+}

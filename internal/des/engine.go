@@ -1,0 +1,105 @@
+// Package des provides the discrete-event simulation engines the
+// network simulators run on: a sequential event-heap engine (the
+// workhorse every network model in internal/simnet uses) and a
+// conservative parallel engine using the Chandy–Misra–Bryant
+// null-message protocol over goroutines (the engine family SST/Macro's
+// PDES core belongs to), exposed through an actor/message API.
+package des
+
+import (
+	"container/heap"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// Engine is a sequential discrete-event engine. Events are closures
+// executed in nondecreasing timestamp order; ties are broken by
+// scheduling order, which makes runs fully deterministic.
+//
+// The zero value is ready to use.
+type Engine struct {
+	now   simtime.Time
+	queue eventHeap
+	seq   uint64
+	steps uint64
+}
+
+type schedEvent struct {
+	at  simtime.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []schedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(schedEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = schedEvent{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Steps returns the number of events executed so far. The paper's
+// complexity comparisons are in terms of event counts; Steps is the
+// simulators' cost metric alongside wall-clock time.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled, not-yet-executed events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it indicates a causality bug in the model.
+func (e *Engine) At(t simtime.Time, fn func()) {
+	if t < e.now {
+		panic("des: scheduling into the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, schedEvent{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d simtime.Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until the queue is empty and returns the final
+// simulation time.
+func (e *Engine) Run() simtime.Time {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps ≤ limit and then sets the
+// clock to limit (if it has not already passed it). It returns the
+// number of events executed.
+func (e *Engine) RunUntil(limit simtime.Time) uint64 {
+	start := e.steps
+	for len(e.queue) > 0 && e.queue[0].at <= limit {
+		e.step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.steps - start
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(schedEvent)
+	e.now = ev.at
+	e.steps++
+	ev.fn()
+}

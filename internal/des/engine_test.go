@@ -1,0 +1,86 @@
+package des
+
+import (
+	"testing"
+
+	"hpctradeoff/internal/simtime"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	// Same-time events run in scheduling order.
+	e.At(20, func() { got = append(got, 22) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %v, want 30", end)
+	}
+	want := []int{1, 2, 22, 3}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Steps() != 4 {
+		t.Errorf("Steps = %d, want 4", e.Steps())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var fired []simtime.Time
+	e.At(5, func() {
+		e.After(10, func() { fired = append(fired, e.Now()) })
+		e.At(7, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 7 || fired[1] != 15 {
+		t.Errorf("fired = %v, want [7 15]", fired)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(simtime.Time(i*10), func() { count++ })
+	}
+	n := e.RunUntil(50)
+	if n != 5 || count != 5 {
+		t.Errorf("RunUntil executed %d (count %d), want 5", n, count)
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now = %v, want 50", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10 after Run", count)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Errorf("Now = %v, want 1000", e.Now())
+	}
+}

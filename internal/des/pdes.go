@@ -1,0 +1,375 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// ActorID identifies an actor registered with a Parallel engine.
+type ActorID int32
+
+// Scheduler is the interface handlers use to schedule follow-up events.
+// Cross-LP (cross-partition) events must be scheduled at least one
+// lookahead into the future; that bound is what makes conservative
+// synchronization possible.
+type Scheduler interface {
+	// Now returns the executing LP's local clock.
+	Now() simtime.Time
+	// Schedule delivers msg to actor 'to' at time Now()+delay. delay
+	// must be ≥ 0 for a local actor and ≥ the engine lookahead for an
+	// actor on another LP.
+	Schedule(to ActorID, delay simtime.Time, msg any)
+}
+
+// Actor is a unit of simulation state owned by exactly one logical
+// process. Handle is invoked in nondecreasing timestamp order with
+// respect to the owning LP's clock, never concurrently with another
+// handler on the same LP.
+type Actor interface {
+	Handle(now simtime.Time, msg any, s Scheduler)
+}
+
+// Parallel is a conservative parallel discrete-event engine using the
+// Chandy–Misra–Bryant null-message protocol. Actors are partitioned
+// over logical processes (one goroutine each); events between LPs are
+// carried by channels whose per-sender timestamp monotonicity, plus a
+// positive lookahead, yields each LP a safe lower bound on future
+// input.
+type Parallel struct {
+	lookahead simtime.Time
+	lps       []*lp
+	owner     []int32 // actor -> LP index
+	actors    []Actor
+	started   bool
+
+	totalSteps uint64
+
+	// outstanding counts events that exist anywhere (queued locally or
+	// in flight between LPs). When it reaches zero the simulation is
+	// globally quiescent: no handler is running (a running handler's
+	// own event has not been decremented yet) so no new event can ever
+	// be created, and every LP can stop.
+	outstanding atomic.Int64
+	quiescent   atomic.Bool
+}
+
+// NewParallel creates an engine with numLPs logical processes and the
+// given lookahead (the minimum cross-LP scheduling delay; it must be
+// positive — in a network simulation it is the minimum link latency).
+func NewParallel(numLPs int, lookahead simtime.Time) (*Parallel, error) {
+	if numLPs < 1 {
+		return nil, fmt.Errorf("des: need ≥1 LP, got %d", numLPs)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("des: lookahead must be positive, got %v", lookahead)
+	}
+	p := &Parallel{lookahead: lookahead}
+	p.lps = make([]*lp, numLPs)
+	for i := range p.lps {
+		p.lps[i] = &lp{
+			engine: p,
+			index:  int32(i),
+			inbox:  make(chan pmsg, 4096),
+		}
+	}
+	return p, nil
+}
+
+// AddActor registers a on logical process lpIndex and returns its ID.
+// All actors must be added before Run.
+func (p *Parallel) AddActor(a Actor, lpIndex int) ActorID {
+	if p.started {
+		panic("des: AddActor after Run")
+	}
+	if lpIndex < 0 || lpIndex >= len(p.lps) {
+		panic(fmt.Sprintf("des: LP index %d out of range", lpIndex))
+	}
+	id := ActorID(len(p.actors))
+	p.actors = append(p.actors, a)
+	p.owner = append(p.owner, int32(lpIndex))
+	return id
+}
+
+// ScheduleInitial enqueues an event before the run starts.
+func (p *Parallel) ScheduleInitial(to ActorID, at simtime.Time, msg any) {
+	if p.started {
+		panic("des: ScheduleInitial after Run")
+	}
+	if at < 0 {
+		panic("des: negative initial time")
+	}
+	l := p.lps[p.owner[to]]
+	p.outstanding.Add(1)
+	l.seq++
+	heap.Push(&l.queue, schedPMsg{at: at, seq: l.seq, to: to, data: msg})
+}
+
+// Run executes every scheduled event and returns the maximum timestamp
+// executed. The run terminates when the system is globally quiescent
+// (no queued or in-flight events remain). Run may be called once.
+func (p *Parallel) Run() simtime.Time {
+	if p.started {
+		panic("des: Run called twice")
+	}
+	p.started = true
+	if p.outstanding.Load() == 0 {
+		p.quiescent.Store(true)
+	}
+	var wg sync.WaitGroup
+	for _, l := range p.lps {
+		l.initClocks(len(p.lps))
+		wg.Add(1)
+		go func(l *lp) {
+			defer wg.Done()
+			l.run()
+		}(l)
+	}
+	wg.Wait()
+	var maxT simtime.Time
+	var steps uint64
+	for _, l := range p.lps {
+		maxT = simtime.Max(maxT, l.lastExec)
+		steps += l.steps
+	}
+	p.totalSteps = steps
+	return maxT
+}
+
+// Steps returns the total number of events executed across all LPs
+// (valid after Run returns).
+func (p *Parallel) Steps() uint64 { return p.totalSteps }
+
+// NullMessages returns the total number of null (synchronization-only)
+// messages exchanged, a cost metric for the CMB protocol (valid after
+// Run returns).
+func (p *Parallel) NullMessages() uint64 {
+	var n uint64
+	for _, l := range p.lps {
+		n += l.nulls
+	}
+	return n
+}
+
+// pmsg is a cross-LP message: a real event (to ≥ 0), a null/done
+// guarantee (to == nullMsg), or a quiescence wakeup (to == wakeupMsg).
+// 'at' is the event time or the sender's guarantee that it will send
+// nothing earlier.
+type pmsg struct {
+	from int32
+	at   simtime.Time
+	to   ActorID
+	data any
+}
+
+const (
+	nullMsg   ActorID = -1
+	wakeupMsg ActorID = -2
+)
+
+type schedPMsg struct {
+	at   simtime.Time
+	seq  uint64
+	to   ActorID
+	data any
+}
+
+type pmsgHeap []schedPMsg
+
+func (h pmsgHeap) Len() int { return len(h) }
+func (h pmsgHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pmsgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pmsgHeap) Push(x any)   { *h = append(*h, x.(schedPMsg)) }
+func (h *pmsgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = schedPMsg{}
+	*h = old[:n-1]
+	return ev
+}
+
+type lp struct {
+	engine *Parallel
+	index  int32
+	inbox  chan pmsg
+	queue  pmsgHeap
+	seq    uint64
+
+	now      simtime.Time
+	lastExec simtime.Time
+	steps    uint64
+	nulls    uint64
+
+	inClock  []simtime.Time // per-sender guarantee
+	lastNull simtime.Time   // last guarantee we broadcast
+	doneFrom int            // peers that sent their final guarantee
+}
+
+func (l *lp) initClocks(numLPs int) {
+	l.inClock = make([]simtime.Time, numLPs)
+	l.lastNull = -1
+	for i := range l.inClock {
+		if int32(i) == l.index {
+			l.inClock[i] = simtime.Forever
+		}
+	}
+}
+
+// Now implements Scheduler.
+func (l *lp) Now() simtime.Time { return l.now }
+
+// Schedule implements Scheduler.
+func (l *lp) Schedule(to ActorID, delay simtime.Time, msg any) {
+	if delay < 0 {
+		panic("des: negative delay")
+	}
+	at := l.now + delay
+	target := l.engine.owner[to]
+	if target == l.index {
+		l.engine.outstanding.Add(1)
+		l.seq++
+		heap.Push(&l.queue, schedPMsg{at: at, seq: l.seq, to: to, data: msg})
+		return
+	}
+	if delay < l.engine.lookahead {
+		panic(fmt.Sprintf("des: cross-LP delay %v below lookahead %v", delay, l.engine.lookahead))
+	}
+	l.engine.outstanding.Add(1)
+	l.send(l.engine.lps[target], pmsg{from: l.index, at: at, to: to, data: msg})
+}
+
+// retire marks one executed event and triggers global termination when
+// it was the last one anywhere.
+func (l *lp) retire() {
+	if l.engine.outstanding.Add(-1) == 0 {
+		l.engine.quiescent.Store(true)
+		for i, peer := range l.engine.lps {
+			if int32(i) != l.index {
+				l.send(peer, pmsg{from: l.index, at: 0, to: wakeupMsg})
+			}
+		}
+	}
+}
+
+// send delivers m to the target LP, draining our own inbox while the
+// target's is full so send cycles cannot deadlock.
+func (l *lp) send(target *lp, m pmsg) {
+	for {
+		select {
+		case target.inbox <- m:
+			return
+		default:
+		}
+		select {
+		case target.inbox <- m:
+			return
+		case in := <-l.inbox:
+			l.absorb(in)
+		}
+	}
+}
+
+// absorb applies an incoming message: clock advance for nulls, queue
+// insertion for real events, nothing for wakeups.
+func (l *lp) absorb(m pmsg) {
+	switch {
+	case m.to >= 0:
+		if m.at > l.inClock[m.from] {
+			l.inClock[m.from] = m.at
+		}
+		l.seq++
+		heap.Push(&l.queue, schedPMsg{at: m.at, seq: l.seq, to: m.to, data: m.data})
+	case m.to == nullMsg:
+		if m.at > l.inClock[m.from] {
+			l.inClock[m.from] = m.at
+		}
+		if m.at >= simtime.Forever {
+			l.doneFrom++
+		}
+	}
+}
+
+func (l *lp) safe() simtime.Time {
+	s := simtime.Forever
+	for _, c := range l.inClock {
+		s = simtime.Min(s, c)
+	}
+	return s
+}
+
+// guarantee is this LP's lower bound on the timestamp of any future
+// outgoing message.
+func (l *lp) guarantee() simtime.Time {
+	bound := l.safe()
+	if len(l.queue) > 0 {
+		bound = simtime.Min(bound, l.queue[0].at)
+	}
+	bound = simtime.Max(bound, l.now)
+	g := bound + l.engine.lookahead
+	if g > simtime.Forever {
+		g = simtime.Forever
+	}
+	return g
+}
+
+func (l *lp) broadcast(at simtime.Time, final bool) {
+	if !final && at <= l.lastNull {
+		return
+	}
+	l.lastNull = at
+	for i, peer := range l.engine.lps {
+		if int32(i) == l.index {
+			continue
+		}
+		l.nulls++
+		l.send(peer, pmsg{from: l.index, at: at, to: nullMsg})
+	}
+}
+
+func (l *lp) run() {
+	single := len(l.engine.lps) == 1
+	for !l.engine.quiescent.Load() {
+		// Execute everything both locally ready and provably safe.
+		for len(l.queue) > 0 && l.queue[0].at <= l.safe() {
+			ev := heap.Pop(&l.queue).(schedPMsg)
+			l.now = ev.at
+			l.lastExec = ev.at
+			l.steps++
+			l.engine.actors[ev.to].Handle(ev.at, ev.data, l)
+			l.retire()
+			if l.engine.quiescent.Load() {
+				break
+			}
+		}
+		if l.engine.quiescent.Load() || single {
+			break
+		}
+		// Blocked: publish our guarantee, then wait for input.
+		l.broadcast(l.guarantee(), false)
+		l.absorb(<-l.inbox)
+	}
+	if !single {
+		l.broadcast(simtime.Forever, true)
+		for l.doneFrom < len(l.engine.lps)-1 {
+			l.absorb(<-l.inbox)
+		}
+		// Drain stragglers so no peer is blocked sending to us.
+		for {
+			select {
+			case m := <-l.inbox:
+				l.absorb(m)
+			default:
+				return
+			}
+		}
+	}
+}

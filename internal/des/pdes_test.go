@@ -1,0 +1,208 @@
+package des
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// ringActor passes a token around a ring a fixed number of times,
+// recording the time of every visit. The schedule is fully
+// deterministic, so sequential and parallel engines must agree exactly.
+type ringActor struct {
+	id, n  int
+	hop    simtime.Time
+	visits *atomic.Int64
+	last   simtime.Time
+	next   ActorID
+	left   *int // remaining hops, shared via pointer on same-LP test only
+}
+
+type token struct{ remaining int }
+
+func (r *ringActor) Handle(now simtime.Time, msg any, s Scheduler) {
+	tk := msg.(token)
+	r.visits.Add(1)
+	r.last = now
+	if tk.remaining > 0 {
+		s.Schedule(r.next, r.hop, token{tk.remaining - 1})
+	}
+}
+
+func TestParallelRingMatchesSequentialTime(t *testing.T) {
+	const (
+		n    = 8
+		hops = 1000
+		hop  = 5 * simtime.Microsecond
+	)
+	for _, lps := range []int{1, 2, 4} {
+		p, err := NewParallel(lps, hop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var visits atomic.Int64
+		actors := make([]*ringActor, n)
+		for i := range actors {
+			actors[i] = &ringActor{id: i, n: n, hop: hop, visits: &visits}
+		}
+		ids := make([]ActorID, n)
+		for i, a := range actors {
+			ids[i] = p.AddActor(a, i%lps)
+		}
+		for i, a := range actors {
+			a.next = ids[(i+1)%n]
+		}
+		p.ScheduleInitial(ids[0], 0, token{hops})
+		end := p.Run()
+		wantEnd := simtime.Time(hops) * hop
+		if end != wantEnd {
+			t.Errorf("lps=%d: end = %v, want %v", lps, end, wantEnd)
+		}
+		if got := visits.Load(); got != hops+1 {
+			t.Errorf("lps=%d: visits = %d, want %d", lps, got, hops+1)
+		}
+		if p.Steps() != hops+1 {
+			t.Errorf("lps=%d: steps = %d, want %d", lps, p.Steps(), hops+1)
+		}
+	}
+}
+
+// pholdActor implements a PHOLD-like workload: every event spawns one
+// successor at a pseudorandom (but deterministic, state-derived) future
+// time on a pseudorandom actor, for a fixed per-actor budget. The total
+// event count and the global sum of event times are engine-invariant.
+type pholdActor struct {
+	id    int
+	peers []ActorID
+	la    simtime.Time
+	sum   *atomic.Int64
+	count *atomic.Int64
+}
+
+func (a *pholdActor) Handle(now simtime.Time, msg any, s Scheduler) {
+	budget := msg.(int)
+	a.sum.Add(int64(now))
+	a.count.Add(1)
+	if budget <= 0 {
+		return
+	}
+	// Deterministic pseudo-random successor derived from (id, budget).
+	h := uint64(a.id*2654435761) ^ uint64(budget)*0x9e3779b97f4a7c15
+	next := a.peers[h%uint64(len(a.peers))]
+	delay := a.la + simtime.Time(h%1000)*simtime.Nanosecond
+	s.Schedule(next, delay, budget-1)
+}
+
+func runPhold(t *testing.T, lps int) (count, sum int64) {
+	t.Helper()
+	const n = 16
+	la := simtime.Microsecond
+	p, err := NewParallel(lps, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s, c atomic.Int64
+	ids := make([]ActorID, n)
+	actors := make([]*pholdActor, n)
+	for i := range actors {
+		actors[i] = &pholdActor{id: i, la: la, sum: &s, count: &c}
+		ids[i] = p.AddActor(actors[i], i%lps)
+	}
+	for _, a := range actors {
+		a.peers = ids
+	}
+	for i := 0; i < n; i++ {
+		p.ScheduleInitial(ids[i], simtime.Time(i)*simtime.Nanosecond, 200)
+	}
+	p.Run()
+	return c.Load(), s.Load()
+}
+
+func TestParallelPholdInvariants(t *testing.T) {
+	c1, s1 := runPhold(t, 1)
+	if c1 != 16*201 {
+		t.Fatalf("count = %d, want %d", c1, 16*201)
+	}
+	for _, lps := range []int{2, 3, 8} {
+		c, s := runPhold(t, lps)
+		if c != c1 || s != s1 {
+			t.Errorf("lps=%d: (count,sum) = (%d,%d), want (%d,%d)", lps, c, s, c1, s1)
+		}
+	}
+}
+
+func TestParallelEmptyRun(t *testing.T) {
+	p, err := NewParallel(4, simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s atomic.Int64
+	for i := 0; i < 4; i++ {
+		p.AddActor(&pholdActor{id: i, la: simtime.Microsecond, sum: &s, count: &s}, i)
+	}
+	if end := p.Run(); end != 0 {
+		t.Errorf("empty run end = %v, want 0", end)
+	}
+}
+
+func TestParallelRejectsBadConfig(t *testing.T) {
+	if _, err := NewParallel(0, simtime.Microsecond); err == nil {
+		t.Error("0 LPs accepted")
+	}
+	if _, err := NewParallel(2, 0); err == nil {
+		t.Error("zero lookahead accepted")
+	}
+}
+
+type panicProbe struct {
+	got chan any
+	to  ActorID
+	la  simtime.Time
+}
+
+func (a *panicProbe) Handle(now simtime.Time, msg any, s Scheduler) {
+	defer func() { a.got <- recover() }()
+	s.Schedule(a.to, a.la/2, nil) // below lookahead: must panic
+}
+
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	la := simtime.Microsecond
+	p, err := NewParallel(2, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &panicProbe{got: make(chan any, 1), la: la}
+	id0 := p.AddActor(probe, 0)
+	id1 := p.AddActor(&pholdActor{}, 1)
+	probe.to = id1
+	p.ScheduleInitial(id0, 0, nil)
+	p.Run()
+	if r := <-probe.got; r == nil {
+		t.Error("cross-LP schedule below lookahead did not panic")
+	}
+}
+
+func TestParallelNullMessageAccounting(t *testing.T) {
+	// A 2-LP ping-pong forces null exchanges; the counter must be > 0.
+	const hops = 50
+	hop := simtime.Microsecond
+	p, err := NewParallel(2, hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visits atomic.Int64
+	a0 := &ringActor{id: 0, hop: hop, visits: &visits}
+	a1 := &ringActor{id: 1, hop: hop, visits: &visits}
+	id0 := p.AddActor(a0, 0)
+	id1 := p.AddActor(a1, 1)
+	a0.next, a1.next = id1, id0
+	p.ScheduleInitial(id0, 0, token{hops})
+	p.Run()
+	if visits.Load() != hops+1 {
+		t.Fatalf("visits = %d", visits.Load())
+	}
+	if p.NullMessages() == 0 {
+		t.Error("expected null messages in a 2-LP ping-pong")
+	}
+}

@@ -1,0 +1,326 @@
+// Package machine defines the target-system models of the study: the
+// three supercomputers the paper collects traces on and simulates
+// (Cielito, Hopper, Edison), described by their topology, link
+// bandwidth/latency, NIC parameters, and rank-to-node placement.
+//
+// The bandwidth/latency numbers are the ones the paper quotes from
+// public system documentation: {10 Gb/s, 2500 ns} for Cielito,
+// {35 Gb/s, 2575 ns} for Hopper, and {24 Gb/s, 1300 ns} for Edison.
+package machine
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/topology"
+)
+
+// Config describes one target system sized to host a particular rank
+// count. It carries both the fine-grained parameters the simulators
+// need (per-link numbers, placement) and the two-parameter Hockney
+// abstraction the modeling tool uses (Alpha, Beta).
+type Config struct {
+	// Name is the system name ("cielito", "hopper", "edison").
+	Name string
+	// Topo is the interconnect sized to host the job.
+	Topo topology.Topology
+	// NodeOf maps each rank to its compute node in Topo.
+	NodeOf []int32
+	// RanksPerNode is the placement density used to build NodeOf.
+	RanksPerNode int
+
+	// LinkBandwidth is the payload bandwidth of one network link, in
+	// bytes per second.
+	LinkBandwidth float64
+	// LinkLatency is the per-hop (router traversal + wire) latency.
+	LinkLatency simtime.Time
+	// InjectionBandwidth is the NIC injection bandwidth in bytes/s.
+	InjectionBandwidth float64
+	// NICLatency is the per-message software+NIC overhead paid at each
+	// endpoint.
+	NICLatency simtime.Time
+
+	// Alpha is the end-to-end small-message latency (the Hockney α).
+	Alpha simtime.Time
+	// Beta is the end-to-end asymptotic bandwidth in bytes/s (the
+	// Hockney 1/β slope).
+	Beta float64
+
+	// EagerThreshold is the message size above which the rendezvous
+	// protocol adds a round-trip handshake.
+	EagerThreshold int64
+	// MPIOverhead is the per-call software overhead of an MPI
+	// operation, paid even by calls that complete immediately.
+	MPIOverhead simtime.Time
+}
+
+// Nodes returns the number of compute nodes the job occupies.
+func (c *Config) Nodes() int {
+	if len(c.NodeOf) == 0 {
+		return 0
+	}
+	seen := make(map[int32]bool)
+	for _, n := range c.NodeOf {
+		seen[n] = true
+	}
+	return len(seen)
+}
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("machine %s: nil topology", c.Name)
+	}
+	if c.LinkBandwidth <= 0 || c.Beta <= 0 || c.InjectionBandwidth <= 0 {
+		return fmt.Errorf("machine %s: non-positive bandwidth", c.Name)
+	}
+	if c.Alpha < 0 || c.LinkLatency < 0 || c.NICLatency < 0 || c.MPIOverhead < 0 {
+		return fmt.Errorf("machine %s: negative latency", c.Name)
+	}
+	for r, n := range c.NodeOf {
+		if int(n) < 0 || int(n) >= c.Topo.Nodes() {
+			return fmt.Errorf("machine %s: rank %d mapped to node %d of %d", c.Name, r, n, c.Topo.Nodes())
+		}
+	}
+	return nil
+}
+
+// gbps converts gigabits per second to bytes per second.
+func gbps(g float64) float64 { return g * 1e9 / 8 }
+
+// Placement selects how a job's ranks map onto the machine's nodes.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceStrided spreads the job's nodes across the fabric the way a
+	// fragmented ALPS/SLURM allocation does (the default; matches how
+	// the study's traces were collected).
+	PlaceStrided Placement = iota
+	// PlaceLinear packs the job onto contiguous nodes (best-case
+	// locality, worst-case bisection).
+	PlaceLinear
+	// PlaceScattered hashes ranks' nodes over the fabric (maximum
+	// fragmentation).
+	PlaceScattered
+)
+
+// spreadFactor sizes the interconnect with headroom over the job: real
+// systems are much larger than any one job, and ALPS/SLURM hand out
+// fragmented allocations, so a job's nodes are spread over the fabric
+// and see far more bisection than a minimal contiguous sub-machine
+// would offer.
+const spreadFactor = 4
+
+// Place rebuilds the rank-to-node map under the given policy, keeping
+// ranks-per-node density. It is the task-mapping ablation knob (the
+// paper replays with "the same task-mapping as the original
+// application execution"; this explores the alternatives).
+func (c *Config) Place(p Placement) {
+	jobNodes := (len(c.NodeOf) + c.RanksPerNode - 1) / c.RanksPerNode
+	topoNodes := c.Topo.Nodes()
+	nodeAt := func(k int) int32 {
+		switch p {
+		case PlaceLinear:
+			return int32(k % topoNodes)
+		case PlaceScattered:
+			h := uint64(k)*0x9e3779b97f4a7c15 + 0x94d049bb133111eb
+			h ^= h >> 29
+			return int32(h % uint64(topoNodes))
+		default:
+			stride := max(topoNodes/max(jobNodes, 1), 1)
+			return int32(k * stride % topoNodes)
+		}
+	}
+	// Scattered placement must not collide two rank-groups onto one
+	// node; resolve collisions by linear probing.
+	used := make(map[int32]bool, jobNodes)
+	assign := make([]int32, jobNodes)
+	for k := 0; k < jobNodes; k++ {
+		n := nodeAt(k)
+		for used[n] {
+			n = (n + 1) % int32(topoNodes)
+		}
+		used[n] = true
+		assign[k] = n
+	}
+	for r := range c.NodeOf {
+		c.NodeOf[r] = assign[r/c.RanksPerNode]
+	}
+}
+
+// stridedPlacement maps ranks to nodes in blocks of ranksPerNode,
+// striding the job's nodes across the topology the way a fragmented
+// allocation does.
+func stridedPlacement(numRanks, ranksPerNode, topoNodes int) []int32 {
+	jobNodes := (numRanks + ranksPerNode - 1) / ranksPerNode
+	stride := topoNodes / jobNodes
+	if stride < 1 {
+		stride = 1
+	}
+	m := make([]int32, numRanks)
+	for r := range m {
+		m[r] = int32((r / ranksPerNode) * stride % topoNodes)
+	}
+	return m
+}
+
+// perHopLatency splits the end-to-end α over a typical path: half the
+// topology diameter of router hops plus injection, ejection, and two
+// NIC traversals. The split keeps the simulators' zero-load latency
+// consistent with the Hockney α the modeling tool uses.
+func perHopLatency(alpha simtime.Time, topo topology.Topology, nicShare float64) (link, nic simtime.Time) {
+	nic = alpha.Scale(nicShare / 2) // per endpoint
+	hops := topo.Diameter()/2 + 2   // typical router hops + inj + ej
+	if hops < 1 {
+		hops = 1
+	}
+	link = (alpha - 2*nic) / simtime.Time(hops)
+	if link < 0 {
+		link = 0
+	}
+	return link, nic
+}
+
+// New builds the named machine ("cielito", "hopper", or "edison")
+// sized to host numRanks ranks at ranksPerNode ranks per node. If
+// ranksPerNode is 0 the machine's native core count is used.
+func New(name string, numRanks, ranksPerNode int) (*Config, error) {
+	switch name {
+	case "cielito":
+		return Cielito(numRanks, ranksPerNode)
+	case "hopper":
+		return Hopper(numRanks, ranksPerNode)
+	case "edison":
+		return Edison(numRanks, ranksPerNode)
+	case "fattree":
+		return FatTreeCluster(numRanks, ranksPerNode)
+	}
+	return nil, fmt.Errorf("machine: unknown system %q", name)
+}
+
+// Cielito models the LANL Cray XE6 (Gemini 3-D torus, 16 cores/node):
+// 10 Gb/s link bandwidth, 2500 ns end-to-end latency.
+func Cielito(numRanks, ranksPerNode int) (*Config, error) {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 16
+	}
+	return buildTorusMachine("cielito", numRanks, ranksPerNode, gbps(10), simtime.FromNanoseconds(2500))
+}
+
+// Hopper models the NERSC Cray XE6 (Gemini 3-D torus, 24 cores/node):
+// 35 Gb/s link bandwidth, 2575 ns end-to-end latency.
+func Hopper(numRanks, ranksPerNode int) (*Config, error) {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 24
+	}
+	return buildTorusMachine("hopper", numRanks, ranksPerNode, gbps(35), simtime.FromNanoseconds(2575))
+}
+
+func buildTorusMachine(name string, numRanks, ranksPerNode int, bw float64, alpha simtime.Time) (*Config, error) {
+	if numRanks < 1 {
+		return nil, fmt.Errorf("machine %s: need ≥1 rank", name)
+	}
+	nodes := (numRanks + ranksPerNode - 1) / ranksPerNode
+	fabricNodes := nodes * spreadFactor
+	if name == "cielito" {
+		// Cielito really is a 64-node machine; jobs spread within it.
+		fabricNodes = max(nodes, 64)
+		if nodes > 64 {
+			return nil, fmt.Errorf("machine cielito: %d ranks exceed the 64-node machine", numRanks)
+		}
+	}
+	topo, err := topology.FitTorus3D(fabricNodes, 2) // Gemini: 2 nodes per router
+	if err != nil {
+		return nil, err
+	}
+	link, nic := perHopLatency(alpha, topo, 0.4)
+	return &Config{
+		Name:               name,
+		Topo:               topo,
+		NodeOf:             stridedPlacement(numRanks, ranksPerNode, topo.Nodes()),
+		RanksPerNode:       ranksPerNode,
+		LinkBandwidth:      bw,
+		LinkLatency:        link,
+		InjectionBandwidth: 4 * bw, // the Gemini NIC injects faster than one fabric link
+		NICLatency:         nic,
+		Alpha:              alpha,
+		Beta:               bw,
+		EagerThreshold:     8 << 10,
+		MPIOverhead:        simtime.FromNanoseconds(350),
+	}, nil
+}
+
+// Edison models the NERSC Cray XC30 (Aries dragonfly, 24 cores/node):
+// 24 Gb/s link bandwidth, 1300 ns end-to-end latency.
+func Edison(numRanks, ranksPerNode int) (*Config, error) {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 24
+	}
+	if numRanks < 1 {
+		return nil, fmt.Errorf("machine edison: need ≥1 rank")
+	}
+	nodes := (numRanks + ranksPerNode - 1) / ranksPerNode
+	topo, err := topology.FitDragonfly(nodes*spreadFactor, 4) // Aries: 4 nodes per router
+	if err != nil {
+		return nil, err
+	}
+	alpha := simtime.FromNanoseconds(1300)
+	bw := gbps(24)
+	link, nic := perHopLatency(alpha, topo, 0.4)
+	return &Config{
+		Name:               "edison",
+		Topo:               topo,
+		NodeOf:             stridedPlacement(numRanks, ranksPerNode, topo.Nodes()),
+		RanksPerNode:       ranksPerNode,
+		LinkBandwidth:      bw,
+		LinkLatency:        link,
+		InjectionBandwidth: 4 * bw, // Aries NICs likewise outrun a single link
+		NICLatency:         nic,
+		Alpha:              alpha,
+		Beta:               bw,
+		EagerThreshold:     8 << 10,
+		MPIOverhead:        simtime.FromNanoseconds(250),
+	}, nil
+}
+
+// FatTreeCluster models a hypothetical commodity cluster with a
+// two-level fat tree (2:1 oversubscribed) of 100 Gb/s links and
+// 1200 ns end-to-end latency, 32 ranks per node — a what-if target for
+// exploring how the study's conclusions transfer to a different
+// topology class. It is not part of the paper's three systems and does
+// not appear in the default manifest.
+func FatTreeCluster(numRanks, ranksPerNode int) (*Config, error) {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 32
+	}
+	if numRanks < 1 {
+		return nil, fmt.Errorf("machine fattree: need ≥1 rank")
+	}
+	nodes := (numRanks + ranksPerNode - 1) / ranksPerNode
+	topo, err := topology.FitFatTree(nodes*spreadFactor, 16)
+	if err != nil {
+		return nil, err
+	}
+	alpha := simtime.FromNanoseconds(1200)
+	bw := gbps(100)
+	link, nic := perHopLatency(alpha, topo, 0.4)
+	return &Config{
+		Name:               "fattree",
+		Topo:               topo,
+		NodeOf:             stridedPlacement(numRanks, ranksPerNode, topo.Nodes()),
+		RanksPerNode:       ranksPerNode,
+		LinkBandwidth:      bw,
+		LinkLatency:        link,
+		InjectionBandwidth: 4 * bw,
+		NICLatency:         nic,
+		Alpha:              alpha,
+		Beta:               bw,
+		EagerThreshold:     8 << 10,
+		MPIOverhead:        simtime.FromNanoseconds(250),
+	}, nil
+}
+
+// Names lists the paper's three systems. The hypothetical
+// FatTreeCluster is additionally accepted by New as "fattree".
+func Names() []string { return []string{"cielito", "hopper", "edison"} }

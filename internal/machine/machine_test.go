@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"testing"
+
+	"hpctradeoff/internal/simtime"
+)
+
+func TestAllMachinesBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		for _, ranks := range []int{1, 16, 64, 256, 1728} {
+			if name == "cielito" && ranks > 1024 {
+				continue // 64-node machine; capacity covered below
+			}
+			cfg, err := New(name, ranks, 0)
+			if err != nil {
+				t.Fatalf("New(%s, %d): %v", name, ranks, err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("New(%s, %d).Validate: %v", name, ranks, err)
+			}
+			if len(cfg.NodeOf) != ranks {
+				t.Errorf("%s/%d: NodeOf has %d entries", name, ranks, len(cfg.NodeOf))
+			}
+			if cfg.Topo.Nodes() < cfg.Nodes() {
+				t.Errorf("%s/%d: topology smaller than job", name, ranks)
+			}
+		}
+	}
+}
+
+func TestPaperParameters(t *testing.T) {
+	cases := []struct {
+		name  string
+		gbits float64
+		alpha simtime.Time
+	}{
+		{"cielito", 10, simtime.FromNanoseconds(2500)},
+		{"hopper", 35, simtime.FromNanoseconds(2575)},
+		{"edison", 24, simtime.FromNanoseconds(1300)},
+	}
+	for _, c := range cases {
+		cfg, err := New(c.name, 64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := c.gbits * 1e9 / 8; cfg.Beta != want {
+			t.Errorf("%s Beta = %g, want %g", c.name, cfg.Beta, want)
+		}
+		if cfg.Alpha != c.alpha {
+			t.Errorf("%s Alpha = %v, want %v", c.name, cfg.Alpha, c.alpha)
+		}
+	}
+}
+
+func TestLatencySplitConsistent(t *testing.T) {
+	// The simulators' zero-load end-to-end latency (2×NIC + per-hop ×
+	// typical path) should approximate the Hockney α within a factor
+	// governed by path-length variance, and never exceed ~2α.
+	for _, name := range Names() {
+		cfg, err := New(name, 256, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops := cfg.Topo.Diameter()/2 + 2
+		e2e := 2*cfg.NICLatency + simtime.Time(hops)*cfg.LinkLatency
+		lo, hi := cfg.Alpha.Scale(0.5), cfg.Alpha.Scale(2.0)
+		if e2e < lo || e2e > hi {
+			t.Errorf("%s: typical zero-load latency %v not within [%v, %v]", name, e2e, lo, hi)
+		}
+	}
+}
+
+func TestRanksPerNodeOverride(t *testing.T) {
+	cfg, err := New("cielito", 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RanksPerNode != 8 {
+		t.Errorf("RanksPerNode = %d, want 8", cfg.RanksPerNode)
+	}
+	if cfg.Nodes() != 8 {
+		t.Errorf("Nodes = %d, want 8", cfg.Nodes())
+	}
+	// Strided placement: ranks on the same node share it; different
+	// node groups land on distinct, spread-out nodes.
+	if cfg.NodeOf[0] != cfg.NodeOf[7] {
+		t.Error("ranks 0-7 should share a node")
+	}
+	if cfg.NodeOf[8] == cfg.NodeOf[7] {
+		t.Error("rank 8 should start a new node")
+	}
+	seen := map[int32]bool{}
+	for _, n := range cfg.NodeOf {
+		seen[n] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("placement uses %d nodes, want 8", len(seen))
+	}
+}
+
+func TestCielitoCapacity(t *testing.T) {
+	if _, err := New("cielito", 1025, 16); err == nil {
+		t.Error("cielito accepted more ranks than its 64 nodes hold")
+	}
+	if _, err := New("cielito", 1024, 16); err != nil {
+		t.Errorf("cielito rejected a full-machine job: %v", err)
+	}
+	if _, err := New("hopper", 1728, 24); err != nil {
+		t.Errorf("hopper rejected 1728 ranks: %v", err)
+	}
+}
+
+func TestUnknownMachine(t *testing.T) {
+	if _, err := New("summit", 64, 0); err == nil {
+		t.Fatal("want error for unknown machine")
+	}
+	if _, err := New("cielito", 0, 0); err == nil {
+		t.Fatal("want error for zero ranks")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cfg, err := New("edison", 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NodeOf[0] = int32(cfg.Topo.Nodes())
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for out-of-range node")
+	}
+	cfg, _ = New("edison", 64, 0)
+	cfg.Beta = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for zero beta")
+	}
+	cfg, _ = New("edison", 64, 0)
+	cfg.Alpha = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("want error for negative alpha")
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	for _, p := range []Placement{PlaceLinear, PlaceStrided, PlaceScattered} {
+		cfg, err := New("hopper", 96, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Place(p)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if cfg.Nodes() != 12 {
+			t.Errorf("policy %v: %d nodes occupied, want 12", p, cfg.Nodes())
+		}
+		// Ranks sharing a node group stay together.
+		if cfg.NodeOf[0] != cfg.NodeOf[7] || cfg.NodeOf[8] == cfg.NodeOf[7] {
+			t.Errorf("policy %v: rank grouping broken", p)
+		}
+	}
+	// Linear placement is contiguous; strided is not.
+	lin, _ := New("hopper", 96, 8)
+	lin.Place(PlaceLinear)
+	if lin.NodeOf[95] != 11 {
+		t.Errorf("linear placement last node = %d, want 11", lin.NodeOf[95])
+	}
+	str, _ := New("hopper", 96, 8)
+	str.Place(PlaceStrided)
+	if str.NodeOf[95] == 11 {
+		t.Error("strided placement looks contiguous")
+	}
+}
+
+func TestFatTreeCluster(t *testing.T) {
+	for _, ranks := range []int{2, 64, 512} {
+		cfg, err := New("fattree", ranks, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Beta != 100e9/8 {
+			t.Errorf("Beta = %g", cfg.Beta)
+		}
+	}
+}

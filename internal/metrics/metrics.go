@@ -1,0 +1,140 @@
+// Package metrics provides the aggregation and presentation helpers
+// the study's tables and figures are built from: empirical CDFs, ratio
+// bucketing, and plain-text table/figure rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution.
+type CDF struct {
+	xs []float64 // sorted
+}
+
+// NewCDF builds a CDF from values (copied and sorted).
+func NewCDF(values []float64) CDF {
+	xs := make([]float64, len(values))
+	copy(xs, values)
+	sort.Float64s(xs)
+	return CDF{xs: xs}
+}
+
+// Len returns the sample count.
+func (c CDF) Len() int { return len(c.xs) }
+
+// FractionWithin returns the fraction of samples ≤ x.
+func (c CDF) FractionWithin(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the q-quantile (nearest-rank).
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(c.xs)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.xs) {
+		i = len(c.xs) - 1
+	}
+	return c.xs[i]
+}
+
+// Max returns the largest sample (0 when empty).
+func (c CDF) Max() float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	return c.xs[len(c.xs)-1]
+}
+
+// RatioBuckets returns, for each bound, the fraction of ratios ≤ that
+// bound, plus a final entry for the fraction above the last bound —
+// the structure of the paper's Figure 1 (≤10×, ≤100×, ≤1000×, >1000×).
+func RatioBuckets(ratios []float64, bounds []float64) []float64 {
+	out := make([]float64, len(bounds)+1)
+	if len(ratios) == 0 {
+		return out
+	}
+	c := NewCDF(ratios)
+	var prev float64
+	for i, b := range bounds {
+		f := c.FractionWithin(b)
+		out[i] = f
+		prev = f
+	}
+	out[len(bounds)] = 1 - prev
+	return out
+}
+
+// Table renders a fixed-width text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal ASCII bar of fraction f (0..1) with the
+// given width, e.g. "███████░░░ 70%".
+func Bar(f float64, width int) string {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	fill := int(f*float64(width) + 0.5)
+	return strings.Repeat("#", fill) + strings.Repeat(".", width-fill)
+}
+
+// CDFSeries renders an ASCII CDF listing at the given probe points.
+func CDFSeries(name string, c CDF, probes []float64, format func(float64) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d):\n", name, c.Len())
+	for _, p := range probes {
+		f := c.FractionWithin(p)
+		fmt.Fprintf(&b, "  ≤ %-10s %5.1f%%  %s\n", format(p), 100*f, Bar(f, 40))
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

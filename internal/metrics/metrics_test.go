@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := c.FractionWithin(tc.x); got != tc.want {
+			t.Errorf("FractionWithin(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Max(); got != 4 {
+		t.Errorf("Max = %v", got)
+	}
+	var empty CDF
+	if empty.FractionWithin(1) != 0 || empty.Max() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 1+rng.Intn(30))
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		c := NewCDF(vals)
+		prev := -1.0
+		for x := -3.0; x <= 3.0; x += 0.25 {
+			f := c.FractionWithin(x)
+			if f < prev || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioBuckets(t *testing.T) {
+	ratios := []float64{1, 5, 50, 500, 5000}
+	got := RatioBuckets(ratios, []float64{10, 100, 1000})
+	want := []float64{0.4, 0.6, 0.8, 0.2}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	empty := RatioBuckets(nil, []float64{10})
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Error("empty ratios should give zero buckets")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"A", "Bee"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "A") || !strings.Contains(lines[0], "Bee") {
+		t.Error("header missing")
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Error("separator missing")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2) = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.932); got != "93.2%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{0.01, 0.03, 0.08})
+	out := CDFSeries("x", c, []float64{0.02, 0.05}, func(f float64) string { return Pct(f) })
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "33.3%") {
+		t.Errorf("series output:\n%s", out)
+	}
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Minimal stdlib-only SVG charting, enough to regenerate the paper's
+// figures as vector graphics: multi-series line charts (CDFs) and
+// grouped bar charts.
+
+// Series is one named line in a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// chartPalette holds fill/stroke colors for up to six series.
+var chartPalette = []string{"#1b6ca8", "#d1495b", "#44a05b", "#8a5ab5", "#e0a200", "#5a5a5a"}
+
+const (
+	svgW, svgH             = 640, 400
+	padL, padR, padT, padB = 64, 20, 36, 46
+)
+
+type svgDoc struct {
+	b strings.Builder
+}
+
+func (d *svgDoc) open(title string) {
+	fmt.Fprintf(&d.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`,
+		svgW, svgH, svgW, svgH)
+	d.b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&d.b, `<text x="%d" y="22" font-size="15" text-anchor="middle">%s</text>`, svgW/2, escape(title))
+}
+
+func (d *svgDoc) close() string {
+	d.b.WriteString(`</svg>`)
+	return d.b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// axis computes a "nice" rounded upper bound and tick step for a data
+// maximum.
+func axis(maxVal float64) (top, step float64) {
+	if maxVal <= 0 {
+		return 1, 0.25
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(maxVal)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if maxVal <= m*mag {
+			return m * mag, m * mag / 4
+		}
+	}
+	return 10 * mag, 2.5 * mag
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+// LineChart renders a multi-series line chart (e.g. CDFs). X and Y
+// axes start at zero; axes are labeled and ticked.
+func LineChart(title, xlabel, ylabel string, series []Series) string {
+	var d svgDoc
+	d.open(title)
+	var maxX, maxY float64
+	for _, s := range series {
+		for i := range s.X {
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	topX, stepX := axis(maxX)
+	topY, stepY := axis(maxY)
+	plotW := float64(svgW - padL - padR)
+	plotH := float64(svgH - padT - padB)
+	px := func(x float64) float64 { return float64(padL) + x/topX*plotW }
+	py := func(y float64) float64 { return float64(svgH-padB) - y/topY*plotH }
+
+	// Grid + ticks.
+	for v := 0.0; v <= topX+1e-9; v += stepX {
+		x := px(v)
+		fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`, x, padT, x, svgH-padB)
+		fmt.Fprintf(&d.b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`, x, svgH-padB+16, fmtTick(v))
+	}
+	for v := 0.0; v <= topY+1e-9; v += stepY {
+		y := py(v)
+		fmt.Fprintf(&d.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, padL, y, svgW-padR, y)
+		fmt.Fprintf(&d.b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`, padL-6, y+4, fmtTick(v))
+	}
+	// Axes.
+	fmt.Fprintf(&d.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, padL, svgH-padB, svgW-padR, svgH-padB)
+	fmt.Fprintf(&d.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, padL, padT, padL, svgH-padB)
+	fmt.Fprintf(&d.b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`, (padL+svgW-padR)/2, svgH-10, escape(xlabel))
+	fmt.Fprintf(&d.b, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+		(padT+svgH-padB)/2, (padT+svgH-padB)/2, escape(ylabel))
+
+	// Series.
+	for si, s := range series {
+		color := chartPalette[si%len(chartPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&d.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(pts, " "), color)
+		// Legend.
+		ly := padT + 8 + si*16
+		fmt.Fprintf(&d.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`, padL+10, ly, padL+34, ly, color)
+		fmt.Fprintf(&d.b, `<text x="%d" y="%d" font-size="11">%s</text>`, padL+40, ly+4, escape(s.Name))
+	}
+	return d.close()
+}
+
+// BarChart renders grouped bars: one group per label, one bar per
+// series within each group.
+func BarChart(title, ylabel string, groups, seriesNames []string, values [][]float64) string {
+	var d svgDoc
+	d.open(title)
+	var maxY float64
+	for _, row := range values {
+		for _, v := range row {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	topY, stepY := axis(maxY)
+	plotW := float64(svgW - padL - padR)
+	plotH := float64(svgH - padT - padB)
+	py := func(y float64) float64 { return float64(svgH-padB) - y/topY*plotH }
+
+	for v := 0.0; v <= topY+1e-9; v += stepY {
+		y := py(v)
+		fmt.Fprintf(&d.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, padL, y, svgW-padR, y)
+		fmt.Fprintf(&d.b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`, padL-6, y+4, fmtTick(v))
+	}
+	fmt.Fprintf(&d.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, padL, svgH-padB, svgW-padR, svgH-padB)
+	fmt.Fprintf(&d.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, padL, padT, padL, svgH-padB)
+	fmt.Fprintf(&d.b, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+		(padT+svgH-padB)/2, (padT+svgH-padB)/2, escape(ylabel))
+
+	nG, nS := len(groups), len(seriesNames)
+	if nG == 0 || nS == 0 {
+		return d.close()
+	}
+	groupW := plotW / float64(nG)
+	barW := groupW * 0.8 / float64(nS)
+	for gi, g := range groups {
+		gx := float64(padL) + float64(gi)*groupW
+		for si := 0; si < nS; si++ {
+			v := 0.0
+			if gi < len(values) && si < len(values[gi]) {
+				v = values[gi][si]
+			}
+			x := gx + groupW*0.1 + float64(si)*barW
+			y := py(v)
+			fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+				x, y, barW*0.92, float64(svgH-padB)-y, chartPalette[si%len(chartPalette)])
+		}
+		fmt.Fprintf(&d.b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`,
+			gx+groupW/2, svgH-padB+16, escape(g))
+	}
+	for si, name := range seriesNames {
+		ly := padT + 8 + si*16
+		fmt.Fprintf(&d.b, `<rect x="%d" y="%d" width="16" height="10" fill="%s"/>`, padL+10, ly-8, chartPalette[si%len(chartPalette)])
+		fmt.Fprintf(&d.b, `<text x="%d" y="%d" font-size="11">%s</text>`, padL+32, ly, escape(name))
+	}
+	return d.close()
+}
+
+// CDFSeriesPoints converts a CDF into plot points over [0, xmax] for
+// LineChart (x in percent if scale is 100).
+func CDFSeriesPoints(name string, c CDF, xmax, scale float64, n int) Series {
+	s := Series{Name: name}
+	for i := 0; i <= n; i++ {
+		x := xmax * float64(i) / float64(n)
+		s.X = append(s.X, x*scale)
+		s.Y = append(s.Y, 100*c.FractionWithin(x))
+	}
+	return s
+}

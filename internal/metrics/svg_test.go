@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG as XML to catch broken markup.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(len(svg), 400)])
+		}
+	}
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	c := NewCDF([]float64{0.01, 0.02, 0.05, 0.2})
+	svg := LineChart("T < & >", "x \"quoted\"", "y", []Series{
+		CDFSeriesPoints("a<b", c, 0.3, 100, 50),
+		{Name: "raw", X: []float64{0, 1, 2}, Y: []float64{0, 50, 100}},
+	})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("no polylines rendered")
+	}
+	if !strings.Contains(svg, "&lt;") {
+		t.Error("titles not escaped")
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	svg := BarChart("bars", "%", []string{"g1", "g2"}, []string{"s1", "s2", "s3"},
+		[][]float64{{10, 20, 30}, {5, 0, 90}})
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<rect"); got < 7 { // 6 bars + background + legend chips
+		t.Errorf("only %d rects", got)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	wellFormed(t, BarChart("empty", "y", nil, nil, nil))
+}
+
+func TestAxisNiceBounds(t *testing.T) {
+	cases := []struct{ in, top float64 }{
+		{0, 1}, {0.9, 1}, {1.7, 2}, {2.2, 2.5}, {4, 5}, {7, 10}, {93, 100},
+	}
+	for _, c := range cases {
+		top, step := axis(c.in)
+		if top != c.top {
+			t.Errorf("axis(%v) top = %v, want %v", c.in, top, c.top)
+		}
+		if step <= 0 || top/step < 2 {
+			t.Errorf("axis(%v) step = %v (top %v)", c.in, step, top)
+		}
+	}
+}
+
+func TestCDFSeriesPoints(t *testing.T) {
+	c := NewCDF([]float64{0.1, 0.2})
+	s := CDFSeriesPoints("x", c, 0.2, 100, 4)
+	if len(s.X) != 5 || s.X[4] != 20 {
+		t.Errorf("X = %v", s.X)
+	}
+	if s.Y[0] != 0 || s.Y[4] != 100 {
+		t.Errorf("Y = %v", s.Y)
+	}
+}

@@ -1,0 +1,72 @@
+package mfact
+
+import (
+	"testing"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simnet"
+)
+
+func TestCalibrateRecoversMachineParameters(t *testing.T) {
+	for _, name := range machine.Names() {
+		mach, err := machine.New(name, 48, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal, err := Calibrate(mach, simnet.PacketFlow, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The fitted α includes the MPI software overheads the replay
+		// charges on top of the wire latency, so expect α ≤ fitted ≤ 4α.
+		if cal.Alpha < mach.Alpha.Scale(0.5) || cal.Alpha > mach.Alpha.Scale(4) {
+			t.Errorf("%s: fitted α = %v, configured %v", name, cal.Alpha, mach.Alpha)
+		}
+		// Fitted bandwidth should be within a factor ~2 of the link rate
+		// (per-hop pipelining and packet quantization cost some).
+		if cal.Beta < 0.4*mach.Beta || cal.Beta > 1.6*mach.Beta {
+			t.Errorf("%s: fitted β = %.3g, configured %.3g", name, cal.Beta, mach.Beta)
+		}
+		if len(cal.Samples) == 0 {
+			t.Error("no samples recorded")
+		}
+		// Monotone one-way times in message size.
+		for i := 1; i < len(cal.Samples); i++ {
+			if cal.Samples[i].OneWay < cal.Samples[i-1].OneWay {
+				t.Errorf("%s: one-way time not monotone at %d bytes", name, cal.Samples[i].Bytes)
+			}
+		}
+	}
+}
+
+func TestCalibrationApply(t *testing.T) {
+	mach, err := machine.Edison(48, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := Calibrate(mach, simnet.PacketFlow, []int64{64, 4096, 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := cal.Apply(mach)
+	if tuned.Alpha != cal.Alpha || tuned.Beta != cal.Beta {
+		t.Error("Apply did not install fitted parameters")
+	}
+	if mach.Alpha == tuned.Alpha && mach.Beta == tuned.Beta {
+		t.Log("fitted parameters happen to equal configured ones (fine)")
+	}
+	// The original config must be untouched.
+	if mach.Topo != tuned.Topo {
+		t.Error("Apply should share the topology")
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	mach, err := machine.Edison(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Calibrate(mach, simnet.PacketFlow, nil); err == nil {
+		t.Error("single-rank calibration accepted")
+	}
+}

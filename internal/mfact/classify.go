@@ -1,0 +1,115 @@
+package mfact
+
+import "fmt"
+
+// Class is MFACT's application classification, derived from how the
+// predicted total time reacts to bandwidth and latency scaling across
+// the replayed configuration sweep.
+type Class uint8
+
+// The five MFACT classes.
+const (
+	// ComputationBound applications are insensitive to the network and
+	// spend their time computing.
+	ComputationBound Class = iota
+	// LoadImbalanceBound applications are network-insensitive but spend
+	// substantial time waiting for stragglers.
+	LoadImbalanceBound
+	// BandwidthBound applications slow down when bandwidth shrinks.
+	BandwidthBound
+	// LatencyBound applications slow down when latency grows.
+	LatencyBound
+	// CommunicationBound applications are sensitive to both.
+	CommunicationBound
+)
+
+var classNames = [...]string{
+	ComputationBound:   "computation-bound",
+	LoadImbalanceBound: "load-imbalance-bound",
+	BandwidthBound:     "bandwidth-bound",
+	LatencyBound:       "latency-bound",
+	CommunicationBound: "communication-bound",
+}
+
+// String returns the class's hyphenated name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Classification thresholds, following the paper: an application is
+// communication-sensitive if its estimated total time increases by more
+// than 5% when bandwidth decreases by a factor of 8 (and analogously
+// for an 8× latency increase). The wait-fraction threshold separates
+// load-imbalance-bound from computation-bound among the insensitive.
+const (
+	// SensitivityThreshold is the fractional total-time increase that
+	// marks sensitivity (0.05 = 5%).
+	SensitivityThreshold = 0.05
+	// sensitivityScale is the slow-down factor probed (8×).
+	sensitivityScale = 8.0
+	// imbalanceWaitFraction is the baseline wait-time fraction above
+	// which an insensitive application is load-imbalance-bound.
+	imbalanceWaitFraction = 0.10
+)
+
+// BandwidthSensitivity returns T(β/8)/T(baseline) − 1, the paper's
+// communication-sensitivity probe, or 0 if the sweep lacks the probe
+// configuration.
+func (r *Result) BandwidthSensitivity() float64 {
+	return r.sensitivity(NetConfig{BWScale: 1 / sensitivityScale, LatScale: 1, CompScale: 1})
+}
+
+// LatencySensitivity returns T(α×8)/T(baseline) − 1, or 0 if absent.
+func (r *Result) LatencySensitivity() float64 {
+	return r.sensitivity(NetConfig{BWScale: 1, LatScale: sensitivityScale, CompScale: 1})
+}
+
+func (r *Result) sensitivity(probe NetConfig) float64 {
+	t := r.TotalAt(probe)
+	base := r.Total()
+	if t < 0 || base <= 0 {
+		return 0
+	}
+	return float64(t)/float64(base) - 1
+}
+
+// WaitFraction returns the baseline wait counter as a fraction of the
+// average per-rank logical time.
+func (r *Result) WaitFraction() float64 {
+	c := r.PerConfig[0]
+	denom := c.Wait + c.Bandwidth + c.Latency + c.Compute
+	if denom <= 0 {
+		return 0
+	}
+	return float64(c.Wait) / float64(denom)
+}
+
+// CommSensitive reports whether the application falls in the paper's
+// "cs" group (recommend simulation): the total time rises more than 5%
+// as bandwidth decreases by a factor of 8. The paper takes the same
+// conservative bandwidth-only rule, noting that very few applications
+// in the dataset show latency sensitivity alone.
+func (r *Result) CommSensitive() bool {
+	return r.BandwidthSensitivity() > SensitivityThreshold
+}
+
+// Classify derives the application class from a sweep result.
+func Classify(r *Result) Class {
+	bw := r.BandwidthSensitivity() > SensitivityThreshold
+	lat := r.LatencySensitivity() > SensitivityThreshold
+	switch {
+	case bw && lat:
+		return CommunicationBound
+	case bw:
+		return BandwidthBound
+	case lat:
+		return LatencyBound
+	case r.WaitFraction() > imbalanceWaitFraction:
+		return LoadImbalanceBound
+	default:
+		return ComputationBound
+	}
+}

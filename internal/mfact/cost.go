@@ -1,0 +1,129 @@
+package mfact
+
+import (
+	"math/bits"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+)
+
+// costModel precomputes, per network configuration, the Hockney
+// parameters α' = α·LatScale and 1/β' = 1/(β·BWScale), plus the
+// per-call software overhead o (unscaled: it is a host property).
+type costModel struct {
+	K        int
+	alpha    []simtime.Time // α' per config
+	invBeta  []float64      // seconds per byte per config
+	comp     []float64      // compute duration multiplier per config
+	overhead simtime.Time
+}
+
+func newCostModel(mach *machine.Config, configs []NetConfig) *costModel {
+	cm := &costModel{
+		K:        len(configs),
+		alpha:    make([]simtime.Time, len(configs)),
+		invBeta:  make([]float64, len(configs)),
+		comp:     make([]float64, len(configs)),
+		overhead: mach.MPIOverhead,
+	}
+	for k, c := range configs {
+		cm.alpha[k] = mach.Alpha.Scale(c.LatScale)
+		cm.invBeta[k] = 1 / (mach.Beta * c.BWScale)
+		cm.comp[k] = c.CompScale
+	}
+	return cm
+}
+
+// xfer returns the serialization time of bytes under config k.
+func (cm *costModel) xfer(k int, bytes int64) simtime.Time {
+	return simtime.FromSeconds(float64(bytes) * cm.invBeta[k])
+}
+
+// collCost is the closed-form critical-path cost of one collective
+// under the Thakur & Gropp algorithm suite (matching the algorithms
+// internal/mpisim lowers to): posting software costs, sequential
+// message-latency rounds, and a byte volume.
+type collCost struct {
+	posts  int   // nonblocking postings off the critical rounds, 2o each
+	rounds int   // each costs 2o + α' (post, post; waits overlap)
+	bytes  int64 // divided by β'
+}
+
+// log2ceil returns ceil(log2(n)) for n ≥ 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// collectiveCost returns the critical-path cost of op over an
+// n-member communicator with per-member payload b. sendTotal is the
+// caller's total alltoallv send volume (ignored for other ops).
+func collectiveCost(op trace.Op, n int, b int64, sendTotal int64) collCost {
+	if n <= 1 {
+		return collCost{}
+	}
+	lg := log2ceil(n)
+	switch op {
+	case trace.OpBarrier:
+		return collCost{rounds: lg}
+	case trace.OpBcast, trace.OpReduce:
+		return collCost{rounds: lg, bytes: int64(lg) * b}
+	case trace.OpAllreduce:
+		pof2 := 1 << (bits.Len(uint(n)) - 1)
+		if pof2 > n {
+			pof2 >>= 1
+		}
+		rounds := log2ceil(pof2)
+		if n != pof2 {
+			rounds += 2 // fold and unfold
+		}
+		return collCost{rounds: rounds, bytes: int64(rounds) * b}
+	case trace.OpGather, trace.OpScatter:
+		// Binomial tree; the root's serialization of (n-1) blocks
+		// dominates the byte term.
+		return collCost{rounds: lg, bytes: int64(n-1) * b}
+	case trace.OpAllgather, trace.OpReduceScatter:
+		// Ring / pairwise: n-1 rounds of one block each.
+		return collCost{rounds: n - 1, bytes: int64(n-1) * b}
+	case trace.OpAlltoall:
+		switch {
+		case b <= bruckThresholdModel:
+			// Bruck: ceil(log2 n) rounds; round k ships the blocks
+			// whose offset has bit k set.
+			var total int64
+			for k := 1; k < n; k <<= 1 {
+				blocks := 0
+				for j := 1; j < n; j++ {
+					if j&k != 0 {
+						blocks++
+					}
+				}
+				total += int64(blocks) * b
+			}
+			return collCost{rounds: lg, bytes: total}
+		case b <= scatteredThresholdModel:
+			// Scattered storm: n-1 postings, one latency, overlapped
+			// transfers.
+			return collCost{posts: n - 1, rounds: 1, bytes: int64(n-1) * b}
+		default:
+			return collCost{rounds: n - 1, bytes: int64(n-1) * b}
+		}
+	case trace.OpAlltoallv:
+		if n > 1 && sendTotal/int64(n-1) <= scatteredThresholdModel {
+			return collCost{posts: n - 1, rounds: 1, bytes: sendTotal}
+		}
+		return collCost{rounds: n - 1, bytes: sendTotal}
+	}
+	return collCost{}
+}
+
+// bruckThresholdModel and scatteredThresholdModel mirror mpisim's
+// payload-based algorithm switches so model and simulation cost the
+// same algorithm.
+const (
+	bruckThresholdModel     = 256
+	scatteredThresholdModel = 32 << 10
+)

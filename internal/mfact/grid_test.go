@@ -1,0 +1,64 @@
+package mfact
+
+import (
+	"strings"
+	"testing"
+
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+)
+
+func TestGridSweep(t *testing.T) {
+	b := trace.NewBuilder(trace.Meta{App: "g", NumRanks: 16})
+	for r := 0; r < 16; r++ {
+		b.Collective(r, trace.OpAlltoall, trace.CommWorld, 0, 1<<20)
+	}
+	tr := build(t, b)
+	mach := testMach(t, 16)
+	g, err := GridSweep(tr, mach, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Totals) != 5 || len(g.Totals[0]) != 5 {
+		t.Fatalf("grid shape %dx%d", len(g.Totals), len(g.Totals[0]))
+	}
+	// Monotone: total decreases (weakly) as bandwidth grows, for a
+	// bandwidth-bound workload, at fixed latency.
+	for j := range g.LatScales {
+		for i := 1; i < len(g.BWScales); i++ {
+			if g.Totals[i][j] > g.Totals[i-1][j] {
+				t.Errorf("total rose with bandwidth at lat ×%g: %v -> %v",
+					g.LatScales[j], g.Totals[i-1][j], g.Totals[i][j])
+			}
+		}
+	}
+	// At() cross-checks the layout.
+	if g.At(1, 1) != g.Totals[2][2] {
+		t.Error("At(1,1) wrong cell")
+	}
+	if g.At(7, 7) != -1 {
+		t.Error("At off-grid should be -1")
+	}
+	if !strings.Contains(g.Render(), "bw\\lat") {
+		t.Error("render broken")
+	}
+}
+
+func TestGridSweepCustomAxes(t *testing.T) {
+	b := trace.NewBuilder(trace.Meta{App: "g2", NumRanks: 4})
+	for r := 0; r < 4; r++ {
+		b.Compute(r, simtime.Millisecond)
+	}
+	tr := build(t, b)
+	g, err := GridSweep(tr, testMach(t, 4), []float64{1, 10}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Totals) != 2 || len(g.Totals[0]) != 1 {
+		t.Fatalf("grid shape %dx%d", len(g.Totals), len(g.Totals[0]))
+	}
+	// Compute-only: identical everywhere.
+	if g.Totals[0][0] != g.Totals[1][0] {
+		t.Error("compute-only workload should be network-invariant")
+	}
+}

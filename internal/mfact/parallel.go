@@ -1,0 +1,223 @@
+package mfact
+
+import (
+	"fmt"
+	"sync"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+)
+
+// The parallel replayer mirrors the original MFACT implementation: one
+// worker per traced rank (an MPI process there, a goroutine here), with
+// logical-clock vectors transmitted instead of message payloads.
+// Matching follows the same per-channel FIFO discipline as the
+// sequential replayer — receive claims are made in posting order — so
+// both replayers produce bit-identical results.
+
+// mailbox is one rank's incoming logical-timestamp store.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[chanKey][]seqSend
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[chanKey][]seqSend)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) post(k chanKey, s seqSend) {
+	m.mu.Lock()
+	m.queues[k] = append(m.queues[k], s)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// receive blocks until a message is available on channel k.
+func (m *mailbox) receive(k chanKey) seqSend {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queues[k]) == 0 {
+		m.cond.Wait()
+	}
+	q := m.queues[k]
+	s := q[0]
+	m.queues[k] = q[1:]
+	return s
+}
+
+// parColl is one collective instance's rendezvous point.
+type parColl struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	arrived   int
+	n         int
+	maxEntry  []simtime.Time
+	rootEntry []simtime.Time
+	done      bool
+}
+
+// collTable hands out collective instances keyed by (comm, sequence).
+type collTable struct {
+	mu    sync.Mutex
+	insts map[collKey]*parColl
+}
+
+func (ct *collTable) get(k collKey, n int) *parColl {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	inst := ct.insts[k]
+	if inst == nil {
+		inst = &parColl{n: n}
+		inst.cond = sync.NewCond(&inst.mu)
+		ct.insts[k] = inst
+	}
+	return inst
+}
+
+// claim is a receive posted but not yet matched (parallel replayer).
+type parClaim struct {
+	key   chanKey
+	bytes int64
+	// arrival is filled when the claim is matched.
+	arrival []simtime.Time
+}
+
+func replayParallel(tr *trace.Trace, mach *machine.Config, configs []NetConfig) (*state, error) {
+	// The parallel replayer blocks goroutines on real condition
+	// variables, so structurally invalid traces would hang rather than
+	// fail; validate first.
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	st := newState(tr, newCostModel(mach, configs))
+	n := tr.Meta.NumRanks
+	boxes := make([]*mailbox, n)
+	for r := range boxes {
+		boxes[r] = newMailbox()
+	}
+	colls := &collTable{insts: make(map[collKey]*parColl)}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rid int32) {
+			defer wg.Done()
+			errs[rid] = replayRank(st, tr, rid, boxes, colls)
+		}(int32(r))
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mfact: rank %d: %w", r, err)
+		}
+	}
+	return st, nil
+}
+
+func replayRank(st *state, tr *trace.Trace, rid int32, boxes []*mailbox, colls *collTable) error {
+	// claims[k] holds this rank's unmatched receives on channel k, in
+	// posting order; they must be resolved FIFO.
+	claims := make(map[chanKey][]*parClaim)
+	reqs := make(map[int32]*parClaim)
+	collSeq := make(map[trace.CommID]int)
+	myBox := boxes[rid]
+
+	// resolveUntil matches queued claims on k (in order) until the
+	// given claim is filled, blocking for messages as needed.
+	resolveUntil := func(k chanKey, target *parClaim) {
+		for target.arrival == nil {
+			q := claims[k]
+			c := q[0]
+			claims[k] = q[1:]
+			s := myBox.receive(k)
+			c.arrival = recvArrival(st, s.post, c.bytes)
+		}
+	}
+
+	evs := tr.Ranks[rid]
+	for i := range evs {
+		e := &evs[i]
+		switch e.Op {
+		case trace.OpCompute:
+			st.applyCompute(rid, e.Duration())
+
+		case trace.OpSend, trace.OpIsend:
+			post := st.snapshot(rid)
+			k := chanKey{src: rid, dst: e.Peer, tag: e.Tag, comm: e.Comm}
+			boxes[e.Peer].post(k, seqSend{post: post, bytes: e.Bytes})
+			st.applySend(rid, e.Bytes, e.Op == trace.OpSend)
+			if e.Op == trace.OpIsend {
+				reqs[e.Req] = &parClaim{arrival: st.snapshot(rid)}
+			}
+
+		case trace.OpRecv:
+			k := chanKey{src: e.Peer, dst: rid, tag: e.Tag, comm: e.Comm}
+			c := &parClaim{key: k, bytes: e.Bytes}
+			claims[k] = append(claims[k], c)
+			resolveUntil(k, c)
+			st.applyRecvArrival(rid, c.arrival, e.Bytes)
+
+		case trace.OpIrecv:
+			k := chanKey{src: e.Peer, dst: rid, tag: e.Tag, comm: e.Comm}
+			c := &parClaim{key: k, bytes: e.Bytes}
+			claims[k] = append(claims[k], c)
+			reqs[e.Req] = c
+			st.applyCall(rid)
+
+		case trace.OpWait, trace.OpWaitall:
+			ids := e.Reqs
+			if e.Op == trace.OpWait {
+				ids = []int32{e.Req}
+			}
+			var acc []simtime.Time
+			for _, id := range ids {
+				c := reqs[id]
+				if c == nil {
+					return fmt.Errorf("wait on unknown request %d", id)
+				}
+				if c.arrival == nil {
+					resolveUntil(c.key, c)
+				}
+				acc = accumulateArrival(acc, c.arrival)
+				delete(reqs, id)
+			}
+			st.applyWait(rid, acc)
+
+		default:
+			if !e.Op.IsCollective() {
+				return fmt.Errorf("event %d: unsupported op %v", i, e.Op)
+			}
+			nMembers := tr.Comms.Size(e.Comm)
+			if nMembers <= 1 {
+				st.applyCall(rid)
+				continue
+			}
+			seq := collSeq[e.Comm]
+			collSeq[e.Comm]++
+			inst := colls.get(collKey{e.Comm, seq}, nMembers)
+			entry := st.snapshot(rid)
+			inst.mu.Lock()
+			inst.maxEntry = accumulateArrival(inst.maxEntry, entry)
+			if e.Op.IsRooted() && rid == e.Root {
+				inst.rootEntry = entry
+			}
+			inst.arrived++
+			if inst.arrived == inst.n {
+				inst.done = true
+				inst.cond.Broadcast()
+			}
+			for !inst.done {
+				inst.cond.Wait()
+			}
+			maxEntry, rootEntry := inst.maxEntry, inst.rootEntry
+			inst.mu.Unlock()
+			st.applyCollective(rid, e, nMembers, e.Op.IsRooted() && rid == e.Root, maxEntry, rootEntry)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package mfact
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+)
+
+// The sequential replayer executes the trace as a dataflow: each rank
+// runs until it blocks on an unmatched receive, an incomplete wait, or
+// a collective whose members have not all arrived; matching events wake
+// blocked ranks through a worklist. The result is deterministic and
+// identical to the parallel replayer's.
+
+type chanKey struct {
+	src, dst, tag int32
+	comm          trace.CommID
+}
+
+// seqPending is a receive awaiting its matching send.
+type seqPending struct {
+	rank     int32
+	sendPost []simtime.Time // filled by the matching send
+	bytes    int64
+	filled   bool
+	req      int32 // NoReq for blocking receives
+}
+
+type seqChannel struct {
+	sends   []seqSend
+	waiters []*seqPending
+}
+
+type seqSend struct {
+	post  []simtime.Time
+	bytes int64
+}
+
+// seqReq tracks one nonblocking request's completion.
+type seqReq struct {
+	// arrival is the request's completion clock vector; nil until the
+	// match happens (recv) — send requests are filled at post.
+	arrival []simtime.Time
+	pending *seqPending // for recv requests still awaiting a send
+}
+
+type seqRank struct {
+	id          int32
+	pc          int
+	reqs        map[int32]*seqReq
+	recvBuf     *seqPending // pending blocking receive
+	waitingColl *seqColl    // collective this rank has arrived at
+	collSeq     map[trace.CommID]int
+	queued      bool
+	done        bool
+}
+
+type collKey struct {
+	comm trace.CommID
+	seq  int
+}
+
+type seqColl struct {
+	arrived   int
+	applied   int
+	n         int
+	maxEntry  []simtime.Time
+	rootEntry []simtime.Time
+	members   []int32 // blocked members to wake
+	complete  bool
+}
+
+func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig) (*state, error) {
+	st := newState(tr, newCostModel(mach, configs))
+	n := tr.Meta.NumRanks
+	ranks := make([]*seqRank, n)
+	for r := 0; r < n; r++ {
+		ranks[r] = &seqRank{
+			id:      int32(r),
+			reqs:    make(map[int32]*seqReq),
+			collSeq: make(map[trace.CommID]int),
+		}
+	}
+	chans := make(map[chanKey]*seqChannel)
+	colls := make(map[collKey]*seqColl)
+
+	work := make([]int32, 0, n)
+	push := func(r int32) {
+		if !ranks[r].queued && !ranks[r].done {
+			ranks[r].queued = true
+			work = append(work, r)
+		}
+	}
+	for r := 0; r < n; r++ {
+		push(int32(r))
+	}
+
+	channelFor := func(k chanKey) *seqChannel {
+		ch := chans[k]
+		if ch == nil {
+			ch = &seqChannel{}
+			chans[k] = ch
+		}
+		return ch
+	}
+
+	for len(work) > 0 {
+		rid := work[0]
+		work = work[1:]
+		rs := ranks[rid]
+		rs.queued = false
+		evs := tr.Ranks[rid]
+
+	rankLoop:
+		for rs.pc < len(evs) {
+			e := &evs[rs.pc]
+			switch e.Op {
+			case trace.OpCompute:
+				st.applyCompute(rid, e.Duration())
+
+			case trace.OpSend, trace.OpIsend:
+				post := st.snapshot(rid)
+				k := chanKey{src: rid, dst: e.Peer, tag: e.Tag, comm: e.Comm}
+				ch := channelFor(k)
+				// Wake the first waiting receiver, else queue the send.
+				if len(ch.waiters) > 0 {
+					w := ch.waiters[0]
+					ch.waiters = ch.waiters[1:]
+					w.sendPost = post
+					w.filled = true
+					push(w.rank)
+				} else {
+					ch.sends = append(ch.sends, seqSend{post: post, bytes: e.Bytes})
+				}
+				st.applySend(rid, e.Bytes, e.Op == trace.OpSend)
+				if e.Op == trace.OpIsend {
+					// The send cost was charged inline; the request is
+					// complete as of the current clock.
+					rs.reqs[e.Req] = &seqReq{arrival: st.snapshot(rid)}
+				}
+
+			case trace.OpRecv:
+				if rs.recvBuf == nil {
+					k := chanKey{src: e.Peer, dst: rid, tag: e.Tag, comm: e.Comm}
+					ch := channelFor(k)
+					if len(ch.sends) > 0 {
+						s := ch.sends[0]
+						ch.sends = ch.sends[1:]
+						st.applyRecvArrival(rid, recvArrival(st, s.post, e.Bytes), e.Bytes)
+						break // proceed to pc++
+					}
+					rs.recvBuf = &seqPending{rank: rid, bytes: e.Bytes, req: trace.NoReq}
+					ch.waiters = append(ch.waiters, rs.recvBuf)
+					break rankLoop
+				}
+				if !rs.recvBuf.filled {
+					break rankLoop
+				}
+				st.applyRecvArrival(rid, recvArrival(st, rs.recvBuf.sendPost, e.Bytes), e.Bytes)
+				rs.recvBuf = nil
+
+			case trace.OpIrecv:
+				k := chanKey{src: e.Peer, dst: rid, tag: e.Tag, comm: e.Comm}
+				ch := channelFor(k)
+				req := &seqReq{}
+				if len(ch.sends) > 0 {
+					s := ch.sends[0]
+					ch.sends = ch.sends[1:]
+					req.arrival = recvArrival(st, s.post, e.Bytes)
+				} else {
+					p := &seqPending{rank: rid, bytes: e.Bytes, req: e.Req}
+					ch.waiters = append(ch.waiters, p)
+					req.pending = p
+				}
+				rs.reqs[e.Req] = req
+				st.applyCall(rid)
+
+			case trace.OpWait, trace.OpWaitall:
+				ids := e.Reqs
+				if e.Op == trace.OpWait {
+					ids = []int32{e.Req}
+				}
+				// First resolve any pendings that have been filled.
+				ready := true
+				for _, id := range ids {
+					rq := rs.reqs[id]
+					if rq == nil {
+						return nil, fmt.Errorf("mfact: rank %d wait on unknown request %d", rid, id)
+					}
+					if rq.arrival == nil {
+						if rq.pending != nil && rq.pending.filled {
+							rq.arrival = recvArrival(st, rq.pending.sendPost, rq.pending.bytes)
+							rq.pending = nil
+						} else {
+							ready = false
+						}
+					}
+				}
+				if !ready {
+					break rankLoop
+				}
+				var acc []simtime.Time
+				for _, id := range ids {
+					acc = accumulateArrival(acc, rs.reqs[id].arrival)
+					delete(rs.reqs, id)
+				}
+				st.applyWait(rid, acc)
+
+			default: // collectives
+				if !e.Op.IsCollective() {
+					return nil, fmt.Errorf("mfact: rank %d event %d: unsupported op %v", rid, rs.pc, e.Op)
+				}
+				nMembers := tr.Comms.Size(e.Comm)
+				if nMembers <= 1 {
+					st.applyCall(rid)
+					break
+				}
+				seq := rs.collSeq[e.Comm]
+				ck := collKey{e.Comm, seq}
+				inst := colls[ck]
+				if inst == nil {
+					inst = &seqColl{n: nMembers}
+					colls[ck] = inst
+				}
+				if rs.waitingColl != inst {
+					// First visit: register our entry.
+					entry := st.snapshot(rid)
+					inst.maxEntry = accumulateArrival(inst.maxEntry, entry)
+					if e.Op.IsRooted() && rid == e.Root {
+						inst.rootEntry = entry
+					}
+					inst.arrived++
+					inst.members = append(inst.members, rid)
+					rs.waitingColl = inst
+					if inst.arrived == inst.n {
+						inst.complete = true
+						for _, m := range inst.members {
+							if m != rid {
+								push(m)
+							}
+						}
+					}
+				}
+				if !inst.complete {
+					break rankLoop
+				}
+				st.applyCollective(rid, e, nMembers, e.Op.IsRooted() && rid == e.Root, inst.maxEntry, inst.rootEntry)
+				rs.waitingColl = nil
+				rs.collSeq[e.Comm]++
+				inst.applied++
+				if inst.applied == inst.n {
+					delete(colls, ck)
+				}
+			}
+			rs.pc++
+		}
+		if rs.pc >= len(evs) {
+			rs.done = true
+		}
+	}
+
+	for _, rs := range ranks {
+		if !rs.done {
+			return nil, fmt.Errorf("mfact: deadlock: rank %d stuck at event %d/%d", rs.id, rs.pc, len(tr.Ranks[rs.id]))
+		}
+	}
+	return st, nil
+}
+
+// recvArrival computes the arrival vector of a message sent at
+// sendPost (without completing a receive op).
+func recvArrival(st *state, sendPost []simtime.Time, bytes int64) []simtime.Time {
+	out := make([]simtime.Time, st.K)
+	o := st.cm.overhead
+	for k := 0; k < st.K; k++ {
+		out[k] = sendPost[k] + o + st.cm.alpha[k] + st.cm.xfer(k, bytes)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/trace"
+)
+
+// Collective traffic uses a reserved tag space far above application
+// tags so lowered rounds never match application messages.
+const collTagBase int32 = 1 << 20
+
+// lowerer accumulates per-rank replay programs while walking a trace.
+type lowerer struct {
+	tr      *trace.Trace
+	out     [][]rop
+	nextReq []int32 // per-rank fresh request ids
+	reqMap  []map[int32]int32
+}
+
+// lower translates a validated trace into primitive replay programs:
+// point-to-point and compute events copy through (with requests
+// renumbered into a fresh namespace), and every collective expands into
+// the point-to-point rounds of its algorithm.
+func lower(tr *trace.Trace) (*program, error) {
+	n := tr.Meta.NumRanks
+	lw := &lowerer{
+		tr:      tr,
+		out:     make([][]rop, n),
+		nextReq: make([]int32, n),
+		reqMap:  make([]map[int32]int32, n),
+	}
+	for r := range lw.reqMap {
+		lw.reqMap[r] = make(map[int32]int32)
+	}
+
+	// Index alltoallv events by (comm, instance) so every member can
+	// see every other member's send counts.
+	vIndex := buildAlltoallvIndex(tr)
+
+	evCount := make([]int, n)
+	for rank := 0; rank < n; rank++ {
+		evCount[rank] = len(tr.Ranks[rank])
+		collSeq := make(map[trace.CommID]int)
+		for i := range tr.Ranks[rank] {
+			e := &tr.Ranks[rank][i]
+			ev := int32(i)
+			switch e.Op {
+			case trace.OpCompute:
+				lw.emit(rank, rop{kind: ropCompute, dur: e.Duration(), ev: ev})
+			case trace.OpSend:
+				lw.emit(rank, rop{kind: ropSend, peer: e.Peer, tag: e.Tag, comm: int32(e.Comm), bytes: e.Bytes, ev: ev})
+			case trace.OpRecv:
+				lw.emit(rank, rop{kind: ropRecv, peer: e.Peer, tag: e.Tag, comm: int32(e.Comm), bytes: e.Bytes, ev: ev})
+			case trace.OpIsend:
+				lw.emit(rank, rop{kind: ropIsend, peer: e.Peer, tag: e.Tag, comm: int32(e.Comm), bytes: e.Bytes, req: lw.fresh(rank, e.Req), ev: ev})
+			case trace.OpIrecv:
+				lw.emit(rank, rop{kind: ropIrecv, peer: e.Peer, tag: e.Tag, comm: int32(e.Comm), bytes: e.Bytes, req: lw.fresh(rank, e.Req), ev: ev})
+			case trace.OpWait:
+				lw.emit(rank, rop{kind: ropWait, reqs: []int32{lw.lookup(rank, e.Req)}, ev: ev})
+			case trace.OpWaitall:
+				reqs := make([]int32, len(e.Reqs))
+				for j, r := range e.Reqs {
+					reqs[j] = lw.lookup(rank, r)
+				}
+				lw.emit(rank, rop{kind: ropWait, reqs: reqs, ev: ev})
+			default:
+				if !e.Op.IsCollective() {
+					return nil, fmt.Errorf("mpisim: rank %d event %d: unsupported op %v", rank, i, e.Op)
+				}
+				seq := collSeq[e.Comm]
+				collSeq[e.Comm]++
+				if err := lw.lowerCollective(rank, e, ev, seq, vIndex); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return &program{ops: lw.out, evCount: evCount}, nil
+}
+
+func (lw *lowerer) emit(rank int, op rop) {
+	lw.out[rank] = append(lw.out[rank], op)
+}
+
+// fresh allocates a new request id for rank and records the mapping
+// from the trace's id.
+func (lw *lowerer) fresh(rank int, orig int32) int32 {
+	id := lw.nextReq[rank]
+	lw.nextReq[rank]++
+	lw.reqMap[rank][orig] = id
+	return id
+}
+
+// synth allocates a request id for a synthetic (lowered) operation.
+func (lw *lowerer) synth(rank int) int32 {
+	id := lw.nextReq[rank]
+	lw.nextReq[rank]++
+	return id
+}
+
+func (lw *lowerer) lookup(rank int, orig int32) int32 {
+	id, ok := lw.reqMap[rank][orig]
+	if !ok {
+		// Validation guarantees this cannot happen.
+		panic(fmt.Sprintf("mpisim: rank %d: wait on unknown request %d", rank, orig))
+	}
+	delete(lw.reqMap[rank], orig)
+	return id
+}
+
+type vKey struct {
+	comm trace.CommID
+	seq  int
+}
+
+// buildAlltoallvIndex maps (comm, per-comm alltoallv instance) to the
+// per-member SendBytes tables, indexed by member position.
+func buildAlltoallvIndex(tr *trace.Trace) map[vKey][][]int64 {
+	idx := make(map[vKey][][]int64)
+	for rank := range tr.Ranks {
+		counts := make(map[trace.CommID]int)
+		for i := range tr.Ranks[rank] {
+			e := &tr.Ranks[rank][i]
+			if !e.Op.IsCollective() {
+				continue
+			}
+			seq := counts[e.Comm]
+			counts[e.Comm]++
+			if e.Op != trace.OpAlltoallv {
+				continue
+			}
+			k := vKey{e.Comm, seq}
+			tbl := idx[k]
+			if tbl == nil {
+				tbl = make([][]int64, tr.Comms.Size(e.Comm))
+				idx[k] = tbl
+			}
+			pos := tr.Comms.Position(e.Comm, int32(rank))
+			tbl[pos] = e.SendBytes
+		}
+	}
+	return idx
+}

@@ -1,0 +1,510 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+)
+
+// Perturber injects nondeterministic-looking (but seeded) system
+// effects into a replay. The ground-truth executor uses one to make the
+// "measured" times in generated traces include OS noise and software
+// overhead jitter that prediction replays (which run without a
+// Perturber) cannot see — mirroring how real measured times exceed
+// trace-replay predictions in the paper.
+type Perturber interface {
+	// Compute returns the perturbed duration of a compute interval.
+	Compute(rank int32, ev int32, d simtime.Time) simtime.Time
+	// Overhead returns extra per-call software overhead for one MPI
+	// operation on the given rank.
+	Overhead(rank int32) simtime.Time
+}
+
+// Background describes neighbor-job interference traffic injected into
+// the network while the trace replays. The paper (§II-C) points out
+// that inter-job interference is exactly the scenario where simulation
+// beats modeling — a model has no way to see another job's traffic on
+// shared links. Sources fire periodic messages between pseudo-random
+// endpoints for as long as the application runs.
+type Background struct {
+	// Sources is the number of concurrent background streams.
+	Sources int
+	// MsgBytes is the size of each background message.
+	MsgBytes int64
+	// Interval is each source's injection period (jittered ±50%).
+	Interval simtime.Time
+	// Seed drives endpoint and jitter selection.
+	Seed int64
+}
+
+// Options configure a replay.
+type Options struct {
+	// CompScale scales recorded compute durations (1.0 = as recorded;
+	// the tools' what-if knob for faster/slower processors). Zero means
+	// 1.0.
+	CompScale float64
+	// Perturb, when non-nil, injects noise (ground-truth executor mode).
+	Perturb Perturber
+	// Record, when true, writes the replayed entry/exit times back into
+	// the trace (used to stamp ground-truth timestamps).
+	Record bool
+	// Background, when non-nil, injects neighbor-job traffic that
+	// contends for the same network links.
+	Background *Background
+}
+
+// Result carries the outcome of one replay.
+type Result struct {
+	// Model is the network model used.
+	Model simnet.Model
+	// Total is the predicted application time (latest rank finish).
+	Total simtime.Time
+	// Comm is the predicted communication time, averaged over ranks.
+	Comm simtime.Time
+	// RankFinish and RankComm are the per-rank breakdowns.
+	RankFinish []simtime.Time
+	RankComm   []simtime.Time
+	// Events is the number of DES events the replay executed.
+	Events uint64
+	// Net reports the network model's cost counters.
+	Net simnet.Stats
+}
+
+// Replay runs tr through the given network model on machine mach and
+// returns predictions. The trace must be valid (trace.Validate).
+func Replay(tr *trace.Trace, model simnet.Model, mach *machine.Config, netCfg simnet.Config, opts Options) (*Result, error) {
+	if !simnet.Supports(model, tr.Meta.UsesCommSplit, tr.Meta.UsesThreadMultiple) {
+		return nil, fmt.Errorf("%w: %s on %s", simnet.ErrUnsupportedTrace, model, tr.Meta.ID())
+	}
+	if len(mach.NodeOf) < tr.Meta.NumRanks {
+		return nil, fmt.Errorf("mpisim: machine hosts %d ranks, trace has %d", len(mach.NodeOf), tr.Meta.NumRanks)
+	}
+	prog, err := lower(tr)
+	if err != nil {
+		return nil, err
+	}
+	eng := &des.Engine{}
+	net, err := simnet.New(model, eng, mach, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &driver{
+		eng:  eng,
+		net:  net,
+		mach: mach,
+		tr:   tr,
+		opts: opts,
+	}
+	if d.opts.CompScale == 0 {
+		d.opts.CompScale = 1
+	}
+	d.run(prog)
+	if err := d.checkFinished(); err != nil {
+		return nil, err
+	}
+	if opts.Record {
+		d.writeBack()
+	}
+	var comm simtime.Time
+	for _, c := range d.rankComm {
+		comm += c
+	}
+	n := simtime.Time(max(1, tr.Meta.NumRanks))
+	var total simtime.Time
+	for _, f := range d.finish {
+		total = simtime.Max(total, f)
+	}
+	return &Result{
+		Model:      model,
+		Total:      total,
+		Comm:       comm / n,
+		RankFinish: d.finish,
+		RankComm:   d.rankComm,
+		Events:     eng.Steps(),
+		Net:        net.Stats(),
+	}, nil
+}
+
+type chanKey struct {
+	src, dst, tag int32
+	comm          int32
+}
+
+type sendRec struct {
+	bytes     int64
+	eager     bool
+	delivered bool
+	rv        *recvRec // paired receive, nil until matched
+	// onSendDone resumes the sender for rendezvous sends (eager sender
+	// completion is scheduled independently at injection end).
+	onSendDone func()
+	src, dst   int32
+}
+
+type recvRec struct {
+	rank       int32
+	onComplete func()
+}
+
+type channel struct {
+	sends []*sendRec
+	recvs []*recvRec
+}
+
+type rankState struct {
+	id      int32
+	ops     []rop
+	pc      int
+	done    map[int32]bool // requests completed before being waited on
+	waiting map[int32]bool // requests the current wait still needs
+	opStart simtime.Time
+	waitEv  int32 // event of the wait currently blocking, for exit recording
+	blocked bool
+	finish  simtime.Time
+	fin     bool
+}
+
+type driver struct {
+	eng  *des.Engine
+	net  simnet.Network
+	mach *machine.Config
+	tr   *trace.Trace
+	opts Options
+
+	ranks         []*rankState
+	chans         map[chanKey]*channel
+	rankComm      []simtime.Time
+	finish        []simtime.Time
+	finishedRanks int
+
+	// Per-rank, per-original-event first-start and last-finish times
+	// (allocated only when recording).
+	entry, exit [][]simtime.Time
+}
+
+func (d *driver) run(prog *program) {
+	n := d.tr.Meta.NumRanks
+	d.ranks = make([]*rankState, n)
+	d.chans = make(map[chanKey]*channel)
+	d.rankComm = make([]simtime.Time, n)
+	d.finish = make([]simtime.Time, n)
+	if d.opts.Record {
+		d.entry = make([][]simtime.Time, n)
+		d.exit = make([][]simtime.Time, n)
+		for r := 0; r < n; r++ {
+			d.entry[r] = make([]simtime.Time, prog.evCount[r])
+			d.exit[r] = make([]simtime.Time, prog.evCount[r])
+			for i := range d.entry[r] {
+				d.entry[r][i] = -1
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		d.ranks[r] = &rankState{
+			id:      int32(r),
+			ops:     prog.ops[r],
+			done:    make(map[int32]bool),
+			waiting: make(map[int32]bool),
+		}
+	}
+	for _, rs := range d.ranks {
+		rs := rs
+		d.eng.At(0, func() { d.advance(rs) })
+	}
+	if bg := d.opts.Background; bg != nil && bg.Sources > 0 && d.tr.Meta.NumRanks >= 2 {
+		for s := 0; s < bg.Sources; s++ {
+			d.scheduleBackground(bg, uint64(s), 0)
+		}
+	}
+	d.eng.Run()
+}
+
+// scheduleBackground fires one background message and reschedules
+// itself until every application rank has finished. Endpoints and
+// jitter derive deterministically from (seed, source, round).
+func (d *driver) scheduleBackground(bg *Background, source, round uint64) {
+	if d.finishedRanks >= len(d.ranks) {
+		return // the application is done; stop injecting
+	}
+	n := uint64(d.tr.Meta.NumRanks)
+	h := bgHash(uint64(bg.Seed), source, round)
+	src := int32(h % n)
+	dst := int32((h >> 20) % n)
+	if dst == src {
+		dst = (dst + 1) % int32(n)
+	}
+	d.net.Send(src, dst, bg.MsgBytes, func() {})
+	jitter := 0.5 + float64((h>>40)&0xffff)/65536.0 // 0.5 .. 1.5
+	d.eng.After(bg.Interval.Scale(jitter), func() {
+		d.scheduleBackground(bg, source, round+1)
+	})
+}
+
+func bgHash(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9 ^ c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+func (d *driver) checkFinished() error {
+	for _, rs := range d.ranks {
+		if !rs.fin {
+			op := "end"
+			if rs.pc < len(rs.ops) {
+				op = fmt.Sprintf("%s(peer=%d tag=%d)", rs.ops[rs.pc].kind, rs.ops[rs.pc].peer, rs.ops[rs.pc].tag)
+			}
+			return fmt.Errorf("mpisim: deadlock: rank %d stuck at op %d/%d (%s)", rs.id, rs.pc, len(rs.ops), op)
+		}
+	}
+	return nil
+}
+
+// overhead returns the per-call software cost for rank r.
+func (d *driver) overhead(r int32) simtime.Time {
+	o := d.mach.MPIOverhead
+	if d.opts.Perturb != nil {
+		o += d.opts.Perturb.Overhead(r)
+	}
+	return o
+}
+
+func (d *driver) markEntry(rs *rankState, ev int32) {
+	if d.entry != nil && d.entry[rs.id][ev] < 0 {
+		d.entry[rs.id][ev] = d.eng.Now()
+	}
+}
+
+func (d *driver) markExit(rs *rankState, ev int32) {
+	if d.exit != nil {
+		d.exit[rs.id][ev] = d.eng.Now()
+	}
+}
+
+// advance executes ops for rs until it blocks or finishes. Called from
+// engine context only.
+func (d *driver) advance(rs *rankState) {
+	for rs.pc < len(rs.ops) {
+		op := &rs.ops[rs.pc]
+		now := d.eng.Now()
+		d.markEntry(rs, op.ev)
+		switch op.kind {
+		case ropCompute:
+			dur := op.dur.Scale(d.opts.CompScale)
+			if d.opts.Perturb != nil {
+				dur = d.opts.Perturb.Compute(rs.id, op.ev, dur)
+			}
+			ev := op.ev
+			rs.pc++
+			d.eng.After(dur, func() {
+				d.markExit(rs, ev)
+				d.advance(rs)
+			})
+			return
+
+		case ropSend:
+			rs.opStart = now
+			rs.blocked = true
+			d.postSend(rs, op, func() { d.resume(rs, op.ev) })
+			return
+
+		case ropIsend:
+			req := op.req
+			d.postSend(rs, op, func() { d.completeReq(rs, req) })
+			d.stepOverhead(rs, op.ev)
+			return
+
+		case ropRecv:
+			rs.opStart = now
+			rs.blocked = true
+			d.postRecv(rs, op, func() { d.resume(rs, op.ev) })
+			return
+
+		case ropIrecv:
+			req := op.req
+			d.postRecv(rs, op, func() { d.completeReq(rs, req) })
+			d.stepOverhead(rs, op.ev)
+			return
+
+		case ropWait:
+			outstanding := 0
+			for _, q := range op.reqs {
+				if rs.done[q] {
+					delete(rs.done, q)
+				} else {
+					rs.waiting[q] = true
+					outstanding++
+				}
+			}
+			if outstanding == 0 {
+				d.stepOverhead(rs, op.ev)
+				return
+			}
+			rs.opStart = now
+			rs.blocked = true
+			// resume happens in completeReq when the set drains
+			d.pendingWaitEv(rs, op.ev)
+			return
+		}
+	}
+	rs.fin = true
+	rs.finish = d.eng.Now()
+	d.finish[rs.id] = rs.finish
+	d.finishedRanks++
+}
+
+// stepOverhead charges one MPI call's software overhead and continues;
+// the overhead counts as communication time.
+func (d *driver) stepOverhead(rs *rankState, ev int32) {
+	o := d.overhead(rs.id)
+	d.rankComm[rs.id] += o
+	rs.pc++
+	d.eng.After(o, func() {
+		d.markExit(rs, ev)
+		d.advance(rs)
+	})
+}
+
+// waitEv remembers which event a blocked wait belongs to, for exit
+// recording.
+func (d *driver) pendingWaitEv(rs *rankState, ev int32) {
+	rs.waitEv = ev
+}
+
+// resume unblocks rs after a blocking comm op, charging the blocked
+// interval as communication time.
+func (d *driver) resume(rs *rankState, ev int32) {
+	now := d.eng.Now()
+	d.rankComm[rs.id] += now - rs.opStart
+	rs.blocked = false
+	d.markExit(rs, ev)
+	rs.pc++
+	d.advance(rs)
+}
+
+// completeReq marks a request done; if the rank is blocked in a wait
+// that drains, it resumes.
+func (d *driver) completeReq(rs *rankState, req int32) {
+	if rs.waiting[req] {
+		delete(rs.waiting, req)
+		if len(rs.waiting) == 0 && rs.blocked {
+			d.resume(rs, rs.waitEv)
+		}
+		return
+	}
+	rs.done[req] = true
+}
+
+func (d *driver) channelFor(k chanKey) *channel {
+	ch := d.chans[k]
+	if ch == nil {
+		ch = &channel{}
+		d.chans[k] = ch
+	}
+	return ch
+}
+
+// postSend starts the send protocol for op on rank rs. onSenderDone is
+// invoked when the send operation (not necessarily the delivery)
+// completes: at injection end for eager, at delivery for rendezvous.
+func (d *driver) postSend(rs *rankState, op *rop, onSenderDone func()) {
+	k := chanKey{src: rs.id, dst: op.peer, tag: op.tag, comm: op.comm}
+	ch := d.channelFor(k)
+	s := &sendRec{bytes: op.bytes, src: rs.id, dst: op.peer}
+	s.eager = op.bytes <= d.mach.EagerThreshold
+	o := d.overhead(rs.id)
+	if s.eager {
+		// Sender completes after the local injection cost, independent
+		// of matching; the payload travels immediately.
+		inject := simtime.TransferTime(op.bytes, d.mach.InjectionBandwidth)
+		d.eng.After(o+inject, onSenderDone)
+		d.eng.After(o, func() {
+			d.net.Send(s.src, s.dst, s.bytes, func() {
+				s.delivered = true
+				if s.rv != nil {
+					d.completeRecv(s.rv)
+				}
+			})
+		})
+	} else {
+		s.onSendDone = onSenderDone
+	}
+	// Match in posting order.
+	if len(ch.recvs) > 0 {
+		rv := ch.recvs[0]
+		ch.recvs = ch.recvs[1:]
+		d.pair(s, rv)
+	} else {
+		ch.sends = append(ch.sends, s)
+	}
+}
+
+// postRecv posts a receive; onComplete fires when the payload has
+// arrived and been matched.
+func (d *driver) postRecv(rs *rankState, op *rop, onComplete func()) {
+	k := chanKey{src: op.peer, dst: rs.id, tag: op.tag, comm: op.comm}
+	ch := d.channelFor(k)
+	rv := &recvRec{rank: rs.id, onComplete: onComplete}
+	if len(ch.sends) > 0 {
+		s := ch.sends[0]
+		ch.sends = ch.sends[1:]
+		d.pair(s, rv)
+	} else {
+		ch.recvs = append(ch.recvs, rv)
+	}
+}
+
+// pair links a send with its matching receive and, for rendezvous
+// sends, starts the deferred transfer.
+func (d *driver) pair(s *sendRec, rv *recvRec) {
+	s.rv = rv
+	if s.eager {
+		if s.delivered {
+			d.completeRecv(rv)
+		}
+		return
+	}
+	// Rendezvous: the transfer begins only now that both sides are
+	// ready (the handshake cost is folded into the NIC/MPI overheads).
+	d.net.Send(s.src, s.dst, s.bytes, func() {
+		d.completeRecv(rv)
+		if s.onSendDone != nil {
+			s.onSendDone()
+		}
+	})
+}
+
+// completeRecv finishes a matched, delivered receive after the
+// receiver-side software overhead.
+func (d *driver) completeRecv(rv *recvRec) {
+	d.eng.After(d.overhead(rv.rank), rv.onComplete)
+}
+
+// writeBack stamps the replayed entry/exit times into the trace.
+func (d *driver) writeBack() {
+	for r := range d.tr.Ranks {
+		evs := d.tr.Ranks[r]
+		cursor := simtime.Time(0)
+		for i := range evs {
+			en, ex := d.entry[r][i], d.exit[r][i]
+			if en < 0 {
+				// Event never started (cannot happen after a finished
+				// replay); keep monotonicity anyway.
+				en = cursor
+			}
+			if en < cursor {
+				en = cursor
+			}
+			if ex < en {
+				ex = en
+			}
+			evs[i].Entry, evs[i].Exit = en, ex
+			cursor = ex
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package simnet
+
+import (
+	"math"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/topology"
+)
+
+// flowNet is the flow-level (fluid) model: each message is a flow that
+// traverses its path as a fluid, sharing every link's bandwidth
+// max-min-fairly with the competing flows. Whenever flows start or
+// finish, the rates of all active flows are recomputed — the "ripple
+// effect" that makes fluid simulation expensive under churn, which the
+// paper (citing Liu et al.) identifies as the flow model's cost.
+//
+// Rate recomputations triggered at the same instant (e.g. a halo
+// exchange posting thousands of flows in one event round) are coalesced
+// into a single progressive-filling pass.
+type flowNet struct {
+	eng  *des.Engine
+	mach *machine.Config
+	cfg  Config
+
+	routes routeCache
+	flows  []*flow // active flows, compacted on completion
+	stats  Stats
+
+	// Per-link scratch state indexed by topology.LinkID, epoch-stamped
+	// so recompute never clears the whole array.
+	linkAvail []float64
+	linkCount []int32
+	linkEpoch []uint32
+	epoch     uint32
+	// bwOf caches per-link bandwidth.
+	bwOf []float64
+
+	// recomputeAt coalesces recompute requests within a small quantum;
+	// version stamps invalidate stale completion timers.
+	recomputePending bool
+	version          int64
+	// activeLinks lists the links touched by the current flow set
+	// (scratch, rebuilt each recompute).
+	activeLinks []topology.LinkID
+}
+
+// recomputeQuantum batches flow-set changes that occur within a couple
+// of microseconds into one rate recomputation. The timing error is
+// bounded by the quantum, which is on the order of the network's α.
+const recomputeQuantum = 2 * simtime.Microsecond
+
+type flow struct {
+	path      []topology.LinkID
+	remaining float64 // bytes
+	rate      float64 // bytes/s
+	updated   simtime.Time
+	tail      simtime.Time // propagation latency appended after drain
+	onDone    func()
+	frozen    bool // scratch flag for progressive filling
+}
+
+func newFlowNet(eng *des.Engine, mach *machine.Config, cfg Config) *flowNet {
+	n := mach.Topo.NumLinks()
+	f := &flowNet{
+		eng:       eng,
+		mach:      mach,
+		cfg:       cfg,
+		routes:    newRouteCache(mach),
+		linkAvail: make([]float64, n),
+		linkCount: make([]int32, n),
+		linkEpoch: make([]uint32, n),
+		bwOf:      make([]float64, n),
+	}
+	for id := 0; id < n; id++ {
+		switch mach.Topo.Link(topology.LinkID(id)).Kind {
+		case topology.Injection, topology.Ejection:
+			f.bwOf[id] = mach.InjectionBandwidth
+		default:
+			f.bwOf[id] = mach.LinkBandwidth
+		}
+	}
+	return f
+}
+
+// Model implements Network.
+func (f *flowNet) Model() Model { return Flow }
+
+// Stats implements Network.
+func (f *flowNet) Stats() Stats { return f.stats }
+
+// Send implements Network.
+func (f *flowNet) Send(src, dst int32, bytes int64, onDelivered func()) {
+	f.stats.Messages++
+	f.stats.BytesSent += bytes
+	srcNode, dstNode := f.mach.NodeOf[src], f.mach.NodeOf[dst]
+	if srcNode == dstNode {
+		f.eng.After(loopback(bytes, f.cfg, f.mach), onDelivered)
+		return
+	}
+	path := f.routes.get(int(srcNode), int(dstNode))
+	latency := 2*f.mach.NICLatency + simtime.Time(len(path))*f.mach.LinkLatency
+	if bytes <= 0 {
+		f.eng.After(latency, onDelivered)
+		return
+	}
+	f.flows = append(f.flows, &flow{
+		path:      path,
+		remaining: float64(bytes),
+		updated:   f.eng.Now(),
+		tail:      latency,
+		onDone:    onDelivered,
+	})
+	f.requestRecompute()
+}
+
+// requestRecompute schedules one recompute within the coalescing
+// quantum, batching all flow-set changes issued in the meantime.
+func (f *flowNet) requestRecompute() {
+	if f.recomputePending {
+		return
+	}
+	f.recomputePending = true
+	f.version++
+	f.eng.After(recomputeQuantum, func() {
+		f.recomputePending = false
+		f.recompute()
+	})
+}
+
+// recompute advances every flow's progress to now, completes drained
+// flows, recomputes max-min fair rates with progressive filling, and
+// schedules the next completion event.
+func (f *flowNet) recompute() {
+	now := f.eng.Now()
+	f.stats.FlowUpdates++
+
+	// Advance progress and complete drained flows, compacting in place.
+	live := f.flows[:0]
+	for _, fl := range f.flows {
+		if fl.rate > 0 {
+			fl.remaining -= fl.rate * (now - fl.updated).Seconds()
+		}
+		fl.updated = now
+		if fl.remaining <= 0.5 { // sub-byte residue is numeric noise
+			f.eng.After(fl.tail, fl.onDone)
+		} else {
+			live = append(live, fl)
+		}
+	}
+	for i := len(live); i < len(f.flows); i++ {
+		f.flows[i] = nil
+	}
+	f.flows = live
+	if len(f.flows) == 0 {
+		return
+	}
+
+	// Progressive filling (max-min fairness): raise all unfrozen flows'
+	// rates uniformly until a link saturates, freeze the flows crossing
+	// it, repeat. Link state is epoch-stamped scratch.
+	f.epoch++
+	f.activeLinks = f.activeLinks[:0]
+	touch := func(id topology.LinkID) {
+		if f.linkEpoch[id] != f.epoch {
+			f.linkEpoch[id] = f.epoch
+			f.linkAvail[id] = f.bwOf[id]
+			f.linkCount[id] = 0
+			f.activeLinks = append(f.activeLinks, id)
+		}
+	}
+	for _, fl := range f.flows {
+		fl.frozen = false
+		fl.rate = 0
+		for _, l := range fl.path {
+			touch(l)
+			f.linkCount[l]++
+		}
+	}
+	// Progressive filling runs at most maxFillTiers bottleneck tiers
+	// exactly; any flows still unfrozen then receive their current
+	// fair share (avail/count on their own bottleneck) in one pass.
+	// Heterogeneous all-to-all traffic can otherwise produce thousands
+	// of distinct tiers, each an O(flows·path) pass.
+	const maxFillTiers = 6
+	unfrozen := len(f.flows)
+	for tier := 0; unfrozen > 0 && tier < maxFillTiers; tier++ {
+		// Bottleneck share: min over links carrying unfrozen flows.
+		delta := math.Inf(1)
+		for _, l := range f.activeLinks {
+			if c := f.linkCount[l]; c > 0 {
+				if s := f.linkAvail[l] / float64(c); s < delta {
+					delta = s
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			break
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		// Consume the uniform increment on every link with unfrozen
+		// flows, then freeze flows crossing saturated links.
+		for _, fl := range f.flows {
+			if fl.frozen {
+				continue
+			}
+			fl.rate += delta
+			for _, l := range fl.path {
+				f.linkAvail[l] -= delta
+			}
+		}
+		froze := false
+		for _, fl := range f.flows {
+			if fl.frozen {
+				continue
+			}
+			saturated := false
+			for _, l := range fl.path {
+				if f.linkAvail[l] <= 1e-6*f.bwOf[l] {
+					saturated = true
+					break
+				}
+			}
+			if saturated {
+				fl.frozen = true
+				froze = true
+				unfrozen--
+				for _, l := range fl.path {
+					f.linkCount[l]--
+				}
+			}
+		}
+		if !froze {
+			break // numeric stall; the fair-share pass finishes below
+		}
+	}
+	if unfrozen > 0 {
+		// Fair-share finish: every remaining flow takes avail/count on
+		// its most constrained link. Flows sharing a link split its
+		// residue evenly, so capacity is never oversubscribed.
+		for _, fl := range f.flows {
+			if fl.frozen {
+				continue
+			}
+			share := math.Inf(1)
+			for _, l := range fl.path {
+				if c := f.linkCount[l]; c > 0 {
+					if s := f.linkAvail[l] / float64(c); s < share {
+						share = s
+					}
+				}
+			}
+			if !math.IsInf(share, 1) && share > 0 {
+				fl.rate += share
+			}
+		}
+		for _, fl := range f.flows {
+			fl.frozen = true
+		}
+	}
+
+	// Schedule the earliest completion, nudged forward by a small grain
+	// (1% of the shortest remaining drain, ≤ 50 µs) so the thousands of
+	// near-symmetric flows a halo exchange or an all-to-all storm
+	// creates complete in batches instead of one recompute each. The
+	// per-flow timing error is bounded by the grain.
+	next := simtime.Forever
+	for _, fl := range f.flows {
+		if fl.rate <= 0 {
+			continue
+		}
+		t := now + simtime.FromSeconds(fl.remaining/fl.rate)
+		if t <= now {
+			t = now + 1
+		}
+		next = simtime.Min(next, t)
+	}
+	if next < simtime.Forever {
+		grain := (next - now) / 100
+		if grain > 50*simtime.Microsecond {
+			grain = 50 * simtime.Microsecond
+		}
+		next += grain
+		f.version++
+		v := f.version
+		f.eng.At(next, func() {
+			if v == f.version && !f.recomputePending {
+				f.recompute()
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package simnet
+
+import (
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/topology"
+)
+
+// packetNet implements both the packet model and the hybrid
+// packet-flow model; the two differ in how a packet occupies a link:
+//
+//   - packet (SST/Macro 3.0 style): every packet exclusively reserves
+//     each channel on its path for its full serialization time
+//     (store-and-forward with FIFO queueing). This is the source of the
+//     serialization-latency overestimation the paper describes.
+//
+//   - packet-flow (SST/Macro 6.1 style): packets "sample" the
+//     congestion of each channel: a link keeps a fluid backlog that
+//     drains at link bandwidth, and a packet's traversal delay is the
+//     backlog (including itself) divided by bandwidth. Channels are
+//     multiplexed rather than exclusively reserved, and packets are
+//     coarser, so the model is cheaper and avoids the overestimation.
+type packetNet struct {
+	eng       *des.Engine
+	mach      *machine.Config
+	cfg       Config
+	multiplex bool // true for packet-flow
+
+	// Per-link occupancy state, indexed by topology.LinkID.
+	busyUntil []simtime.Time // packet model: exclusive reservation
+	backlog   []float64      // packet-flow: fluid backlog in bytes
+	lastDrain []simtime.Time // packet-flow: last backlog update
+
+	routes routeCache
+	stats  Stats
+}
+
+func newPacketNet(eng *des.Engine, mach *machine.Config, cfg Config, multiplex bool) *packetNet {
+	n := mach.Topo.NumLinks()
+	p := &packetNet{
+		eng:       eng,
+		mach:      mach,
+		cfg:       cfg,
+		multiplex: multiplex,
+		routes:    newRouteCache(mach),
+	}
+	if multiplex {
+		p.backlog = make([]float64, n)
+		p.lastDrain = make([]simtime.Time, n)
+	} else {
+		p.busyUntil = make([]simtime.Time, n)
+	}
+	return p
+}
+
+// Model implements Network.
+func (p *packetNet) Model() Model {
+	if p.multiplex {
+		return PacketFlow
+	}
+	return Packet
+}
+
+// Stats implements Network.
+func (p *packetNet) Stats() Stats { return p.stats }
+
+// Send implements Network.
+func (p *packetNet) Send(src, dst int32, bytes int64, onDelivered func()) {
+	p.stats.Messages++
+	p.stats.BytesSent += bytes
+	srcNode, dstNode := p.mach.NodeOf[src], p.mach.NodeOf[dst]
+	if srcNode == dstNode {
+		p.eng.After(loopback(bytes, p.cfg, p.mach), onDelivered)
+		return
+	}
+	path := p.routes.get(int(srcNode), int(dstNode))
+	nPackets := int((bytes + p.cfg.PacketBytes - 1) / p.cfg.PacketBytes)
+	if nPackets == 0 {
+		nPackets = 1 // zero-byte message still sends a header packet
+	}
+	remaining := nPackets
+	last := bytes - int64(nPackets-1)*p.cfg.PacketBytes
+	start := p.eng.Now() + p.mach.NICLatency
+	for i := 0; i < nPackets; i++ {
+		size := p.cfg.PacketBytes
+		if i == nPackets-1 {
+			size = last
+		}
+		if size <= 0 {
+			size = 1
+		}
+		p.stats.Packets++
+		pk := &packet{net: p, path: path, size: size}
+		pk.onDone = func() {
+			remaining--
+			if remaining == 0 {
+				p.eng.After(p.mach.NICLatency, onDelivered)
+			}
+		}
+		p.eng.At(start, pk.hop)
+	}
+}
+
+// packet walks its path one link per event.
+type packet struct {
+	net    *packetNet
+	path   []topology.LinkID
+	size   int64
+	hopIdx int
+	onDone func()
+}
+
+// hop processes the packet's arrival at its current link and schedules
+// arrival at the next.
+func (pk *packet) hop() {
+	n := pk.net
+	if pk.hopIdx >= len(pk.path) {
+		pk.onDone()
+		return
+	}
+	link := pk.path[pk.hopIdx]
+	pk.hopIdx++
+	now := n.eng.Now()
+	bw := n.linkBandwidth(link)
+	var departure simtime.Time
+	if n.multiplex {
+		// Drain the fluid backlog, add ourselves, sample the delay.
+		elapsed := now - n.lastDrain[link]
+		n.backlog[link] -= elapsed.Seconds() * bw
+		if n.backlog[link] < 0 {
+			n.backlog[link] = 0
+		}
+		n.lastDrain[link] = now
+		n.backlog[link] += float64(pk.size)
+		departure = now + simtime.FromSeconds(n.backlog[link]/bw)
+	} else {
+		// Exclusive reservation: wait for the channel, then hold it for
+		// the full serialization time.
+		begin := simtime.Max(now, n.busyUntil[link])
+		departure = begin + simtime.TransferTime(pk.size, bw)
+		n.busyUntil[link] = departure
+	}
+	n.eng.At(departure+n.mach.LinkLatency, pk.hop)
+}
+
+func (p *packetNet) linkBandwidth(id topology.LinkID) float64 {
+	switch p.mach.Topo.Link(id).Kind {
+	case topology.Injection, topology.Ejection:
+		return p.mach.InjectionBandwidth
+	default:
+		return p.mach.LinkBandwidth
+	}
+}
+
+// routeCache memoizes node-pair routes.
+type routeCache struct {
+	mach  *machine.Config
+	cache map[int64][]topology.LinkID
+}
+
+func newRouteCache(mach *machine.Config) routeCache {
+	return routeCache{mach: mach, cache: make(map[int64][]topology.LinkID)}
+}
+
+func (rc *routeCache) get(srcNode, dstNode int) []topology.LinkID {
+	key := int64(srcNode)<<32 | int64(uint32(dstNode))
+	if path, ok := rc.cache[key]; ok {
+		return path
+	}
+	path := rc.mach.Topo.Route(nil, srcNode, dstNode)
+	rc.cache[key] = path
+	return path
+}

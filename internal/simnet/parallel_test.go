@@ -1,0 +1,147 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+)
+
+// permutation returns a deterministic traffic pattern: each rank sends
+// one message to (rank*5+3) mod n.
+func permutationTraffic(n int) [][2]int32 {
+	var out [][2]int32
+	for r := 0; r < n; r++ {
+		d := (r*5 + 3) % n
+		if d != r {
+			out = append(out, [2]int32{int32(r), int32(d)})
+		}
+	}
+	return out
+}
+
+// sequentialMakespan runs the same traffic through the sequential
+// packet model.
+func sequentialMakespan(t *testing.T, mach *machine.Config, traffic [][2]int32, bytes int64) (simtime.Time, int) {
+	t.Helper()
+	var eng des.Engine
+	net, err := New(Packet, &eng, mach, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last simtime.Time
+	delivered := 0
+	for _, p := range traffic {
+		net.Send(p[0], p[1], bytes, func() {
+			delivered++
+			last = simtime.Max(last, eng.Now())
+		})
+	}
+	eng.Run()
+	return last, delivered
+}
+
+func TestParallelPacketMatchesSequential(t *testing.T) {
+	mach, err := machine.Hopper(48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := permutationTraffic(48)
+	const bytes = 96 << 10
+
+	seqTime, seqDelivered := sequentialMakespan(t, mach, traffic, bytes)
+
+	for _, lps := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("lps=%d", lps), func(t *testing.T) {
+			pp, err := NewParallelPacket(mach, Config{}, lps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range traffic {
+				pp.Inject(0, p[0], p[1], bytes)
+			}
+			end := pp.Run()
+			// Every cross-node message must be delivered exactly once.
+			if got := int(pp.Delivered()); got != seqDelivered {
+				t.Errorf("delivered %d messages, want %d", got, seqDelivered)
+			}
+			// Makespan must agree with the sequential model within a
+			// small tolerance (tie-breaking order differs; the delivery
+			// NIC hop is counted slightly differently).
+			lo, hi := seqTime.Scale(0.9), seqTime.Scale(1.15)
+			if end < lo || end > hi {
+				t.Errorf("parallel makespan %v outside [%v, %v] of sequential %v", end, lo, hi, seqTime)
+			}
+		})
+	}
+}
+
+func TestParallelPacketLoopbackCountsDelivered(t *testing.T) {
+	mach, err := machine.Cielito(8, 8) // all ranks one node
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewParallelPacket(mach, Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Inject(0, 0, 1, 4096)
+	pp.Inject(0, 2, 3, 4096)
+	end := pp.Run()
+	if pp.Delivered() != 2 {
+		t.Errorf("delivered = %d, want 2", pp.Delivered())
+	}
+	if end != 0 {
+		t.Errorf("loopback-only makespan = %v, want 0", end)
+	}
+}
+
+func TestParallelPacketInjectAfterRunPanics(t *testing.T) {
+	mach, err := machine.Edison(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewParallelPacket(mach, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Inject(0, 0, 7, 1024)
+	pp.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("Inject after Run did not panic")
+		}
+	}()
+	pp.Inject(0, 0, 7, 1024)
+}
+
+func TestParallelPacketSynchronizationCost(t *testing.T) {
+	// With more LPs the CMB protocol exchanges null messages; the count
+	// must be observable and grow with LP count.
+	mach, err := machine.Edison(48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := permutationTraffic(48)
+	var prev uint64
+	for _, lps := range []int{1, 4} {
+		pp, err := NewParallelPacket(mach, Config{}, lps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range traffic {
+			pp.Inject(0, p[0], p[1], 32<<10)
+		}
+		pp.Run()
+		nulls := pp.NullMessages()
+		if lps == 1 && nulls != 0 {
+			t.Errorf("single LP exchanged %d null messages", nulls)
+		}
+		if lps > 1 && nulls <= prev {
+			t.Errorf("lps=%d: null messages = %d, want > %d", lps, nulls, prev)
+		}
+		prev = nulls
+	}
+}

@@ -1,0 +1,273 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+)
+
+func testMachine(t *testing.T, ranks int) *machine.Config {
+	t.Helper()
+	m, err := machine.Cielito(ranks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func deliverOne(t *testing.T, model Model, mach *machine.Config, src, dst int32, bytes int64) simtime.Time {
+	t.Helper()
+	var eng des.Engine
+	net, err := New(model, &eng, mach, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at simtime.Time = -1
+	net.Send(src, dst, bytes, func() { at = eng.Now() })
+	eng.Run()
+	if at < 0 {
+		t.Fatalf("%s: message never delivered", model)
+	}
+	return at
+}
+
+func TestSingleMessageLatencyAllModels(t *testing.T) {
+	mach := testMachine(t, 32)
+	for _, m := range Models() {
+		t.Run(string(m), func(t *testing.T) {
+			// A small cross-node message's delivery time should be on
+			// the order of α (within a small factor: per-hop
+			// serialization differs by model).
+			got := deliverOne(t, m, mach, 0, 31, 64)
+			if got <= 0 {
+				t.Fatalf("delivery at %v", got)
+			}
+			lo, hi := mach.Alpha.Scale(0.3), mach.Alpha.Scale(4)
+			if got < lo || got > hi {
+				t.Errorf("64B delivery = %v, want within [%v, %v] (α=%v)", got, lo, hi, mach.Alpha)
+			}
+		})
+	}
+}
+
+func TestLargeMessageBandwidthBound(t *testing.T) {
+	mach := testMachine(t, 32)
+	const bytes = 10 << 20
+	serialization := simtime.TransferTime(bytes, mach.LinkBandwidth)
+	for _, m := range Models() {
+		t.Run(string(m), func(t *testing.T) {
+			got := deliverOne(t, m, mach, 0, 31, bytes)
+			// At least one full serialization; at most ~hops+2 of them
+			// (packet model store-and-forward pipelines packets, so it
+			// should be close to 1×, definitely below 3×).
+			if got < serialization {
+				t.Errorf("10MB delivered in %v, faster than line rate %v", got, serialization)
+			}
+			if got > serialization.Scale(3) {
+				t.Errorf("10MB delivered in %v, more than 3× line rate %v", got, serialization)
+			}
+		})
+	}
+}
+
+func TestLoopbackFastPath(t *testing.T) {
+	mach := testMachine(t, 8) // ranks 0-3 share node 0
+	for _, m := range Models() {
+		net := deliverOne(t, m, mach, 0, 1, 4096)
+		cross := deliverOne(t, m, mach, 0, 7, 4096)
+		if net >= cross {
+			t.Errorf("%s: loopback %v not faster than cross-node %v", m, net, cross)
+		}
+	}
+}
+
+// TestContentionSharing: two messages crossing the same link should
+// each take roughly twice as long as an uncontended one, in every
+// model — this is exactly what modeling (Hockney) cannot see.
+func TestContentionSharing(t *testing.T) {
+	mach := testMachine(t, 32)
+	const bytes = 4 << 20
+	for _, m := range Models() {
+		t.Run(string(m), func(t *testing.T) {
+			solo := deliverOne(t, m, mach, 0, 31, bytes)
+
+			var eng des.Engine
+			net, err := New(m, &eng, mach, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last simtime.Time
+			done := 0
+			cb := func() { done++; last = eng.Now() }
+			// Same source node (ranks 0..3 on node 0): they share the
+			// injection link.
+			net.Send(0, 31, bytes, cb)
+			net.Send(1, 30, bytes, cb)
+			eng.Run()
+			if done != 2 {
+				t.Fatalf("delivered %d of 2", done)
+			}
+			ratio := float64(last) / float64(solo)
+			if ratio < 1.6 || ratio > 2.6 {
+				t.Errorf("contended/solo = %.2f, want ≈2", ratio)
+			}
+		})
+	}
+}
+
+// TestNoContentionDisjointPaths: messages on disjoint paths should not
+// slow each other down.
+func TestNoContentionDisjointPaths(t *testing.T) {
+	mach := testMachine(t, 32)
+	const bytes = 4 << 20
+	for _, m := range Models() {
+		solo := deliverOne(t, m, mach, 0, 4, bytes)
+		var eng des.Engine
+		net, _ := New(m, &eng, mach, Config{})
+		var last simtime.Time
+		net.Send(0, 4, bytes, func() { last = simtime.Max(last, eng.Now()) })
+		net.Send(31, 27, bytes, func() { last = simtime.Max(last, eng.Now()) })
+		eng.Run()
+		if ratio := float64(last) / float64(solo); ratio > 1.3 {
+			t.Errorf("%s: disjoint concurrent/solo = %.2f, want ≈1", m, ratio)
+		}
+	}
+}
+
+func TestPacketModelSlowestUnderContention(t *testing.T) {
+	// The packet model reserves channels exclusively, so under heavy
+	// fan-in it must predict times at least as long as packet-flow.
+	mach := testMachine(t, 32)
+	times := map[Model]simtime.Time{}
+	for _, m := range Models() {
+		var eng des.Engine
+		net, _ := New(m, &eng, mach, Config{})
+		var last simtime.Time
+		for r := int32(4); r < 20; r++ {
+			net.Send(r, 0, 1<<20, func() { last = simtime.Max(last, eng.Now()) })
+		}
+		eng.Run()
+		times[m] = last
+	}
+	// Both are bound by the saturated ejection link, so they converge;
+	// packet must never be meaningfully faster than packet-flow.
+	if float64(times[Packet]) < 0.98*float64(times[PacketFlow]) {
+		t.Errorf("packet %v faster than packet-flow %v under fan-in", times[Packet], times[PacketFlow])
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	mach := testMachine(t, 32)
+	for _, m := range Models() {
+		var eng des.Engine
+		net, _ := New(m, &eng, mach, Config{})
+		net.Send(0, 31, 10000, func() {})
+		net.Send(4, 8, 1, func() {})
+		eng.Run()
+		s := net.Stats()
+		if s.Messages != 2 || s.BytesSent != 10001 {
+			t.Errorf("%s: stats = %+v", m, s)
+		}
+		switch m {
+		case Packet:
+			// 10000B at 512B packets = 20 packets, plus 1 for the 1B msg.
+			if s.Packets != 21 {
+				t.Errorf("packet: Packets = %d, want 21", s.Packets)
+			}
+		case PacketFlow:
+			// 10000B at 4KiB packets = 3 packets, plus 1.
+			if s.Packets != 4 {
+				t.Errorf("packetflow: Packets = %d, want 4", s.Packets)
+			}
+		case Flow:
+			if s.FlowUpdates == 0 {
+				t.Error("flow: no rate updates recorded")
+			}
+		}
+	}
+}
+
+func TestFlowMaxMinFairness(t *testing.T) {
+	// Two flows share a bottleneck; a third on a disjoint path gets
+	// full bandwidth. Completion times must reflect 1/2 vs full rate.
+	mach := testMachine(t, 32)
+	var eng des.Engine
+	net, _ := New(Flow, &eng, mach, Config{})
+	const bytes = 8 << 20
+	full := simtime.TransferTime(bytes, mach.LinkBandwidth)
+	var tShared, tSolo simtime.Time
+	cb := func(dst *simtime.Time) func() {
+		return func() { *dst = simtime.Max(*dst, eng.Now()) }
+	}
+	net.Send(0, 31, bytes, cb(&tShared)) // shares node-0 injection
+	net.Send(1, 30, bytes, cb(&tShared))
+	net.Send(8, 12, bytes, cb(&tSolo)) // disjoint
+	eng.Run()
+	if r := float64(tShared) / float64(full); math.Abs(r-2) > 0.4 {
+		t.Errorf("shared flows finished at %.2f× line time, want ≈2", r)
+	}
+	if r := float64(tSolo) / float64(full); r > 1.4 {
+		t.Errorf("solo flow finished at %.2f× line time, want ≈1", r)
+	}
+}
+
+func TestZeroByteMessages(t *testing.T) {
+	mach := testMachine(t, 32)
+	for _, m := range Models() {
+		got := deliverOne(t, m, mach, 0, 31, 0)
+		if got <= 0 || got > mach.Alpha.Scale(4) {
+			t.Errorf("%s: 0B delivery = %v", m, got)
+		}
+	}
+}
+
+func TestSupportsMatrix(t *testing.T) {
+	cases := []struct {
+		m          Model
+		split, thr bool
+		want       bool
+	}{
+		{Packet, false, false, true},
+		{Packet, true, false, true},
+		{Packet, false, true, false},
+		{Flow, false, false, true},
+		{Flow, true, false, false},
+		{Flow, false, true, false},
+		{PacketFlow, true, true, true},
+	}
+	for _, c := range cases {
+		if got := Supports(c.m, c.split, c.thr); got != c.want {
+			t.Errorf("Supports(%s, split=%v, thr=%v) = %v, want %v", c.m, c.split, c.thr, got, c.want)
+		}
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	var eng des.Engine
+	if _, err := New(Model("quantum"), &eng, testMachine(t, 8), Config{}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mach := testMachine(t, 32)
+	for _, m := range Models() {
+		run := func() simtime.Time {
+			var eng des.Engine
+			net, _ := New(m, &eng, mach, Config{})
+			var last simtime.Time
+			for r := int32(0); r < 16; r++ {
+				dst := (r + 16) % 32
+				net.Send(r, dst, int64(1000*(r+1)), func() { last = simtime.Max(last, eng.Now()) })
+			}
+			eng.Run()
+			return last
+		}
+		if a, b := run(), run(); a != b {
+			t.Errorf("%s: nondeterministic results %v vs %v", m, a, b)
+		}
+	}
+}

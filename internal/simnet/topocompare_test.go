@@ -1,0 +1,65 @@
+package simnet
+
+import (
+	"testing"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simtime"
+)
+
+// TestTopologyContentionComparison runs the same all-to-all-style
+// traffic over the three topology classes and checks basic sanity: all
+// deliver everything, and every topology's makespan is bounded by the
+// serialized worst case.
+func TestTopologyContentionComparison(t *testing.T) {
+	const ranks = 96
+	const bytes = 64 << 10
+	machines := map[string]*machine.Config{}
+	for _, name := range []string{"cielito", "hopper", "edison", "fattree"} {
+		m, err := machine.New(name, ranks, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[name] = m
+	}
+	results := map[string]simtime.Time{}
+	for name, mach := range machines {
+		var eng des.Engine
+		net, err := New(PacketFlow, &eng, mach, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered := 0
+		var last simtime.Time
+		// Shifted permutation rounds: every rank sends to three
+		// offsets, all at once (a burst pattern).
+		for _, off := range []int{1, ranks / 3, ranks / 2} {
+			for r := 0; r < ranks; r++ {
+				dst := int32((r + off) % ranks)
+				if dst == int32(r) {
+					continue
+				}
+				net.Send(int32(r), dst, bytes, func() {
+					delivered++
+					last = simtime.Max(last, eng.Now())
+				})
+			}
+		}
+		eng.Run()
+		if delivered == 0 {
+			t.Fatalf("%s: nothing delivered", name)
+		}
+		results[name] = last
+		// Upper bound: all traffic through one link, serially.
+		worst := simtime.TransferTime(int64(delivered)*bytes, mach.LinkBandwidth)
+		if last > worst {
+			t.Errorf("%s: makespan %v exceeds fully-serialized bound %v", name, last, worst)
+		}
+	}
+	// The 100 Gb/s fat-tree cluster must beat 10 Gb/s Cielito.
+	if results["fattree"] >= results["cielito"] {
+		t.Errorf("fattree (%v) not faster than cielito (%v)", results["fattree"], results["cielito"])
+	}
+	t.Logf("burst makespans: %v", results)
+}

@@ -1,0 +1,20 @@
+package simtime_test
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/simtime"
+)
+
+func ExampleTransferTime() {
+	// Moving 1 MiB over a 10 Gb/s (1.25 GB/s) link.
+	t := simtime.TransferTime(1<<20, 1.25e9)
+	fmt.Println(t)
+	// Output: 838.9µs
+}
+
+func ExampleTime_Scale() {
+	alpha := simtime.FromNanoseconds(2500)
+	fmt.Println(alpha, "→ 8× slower:", alpha.Scale(8))
+	// Output: 2.5µs → 8× slower: 20µs
+}

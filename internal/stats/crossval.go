@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Confusion holds binary-classification error rates for one test set.
+// The paper's definitions: FN rate = FN/(FN+TP), FP rate = FP/(FP+TN),
+// MR = (FN+FP)/total.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// MR returns the misclassification rate.
+func (c Confusion) MR() float64 {
+	n := c.TP + c.TN + c.FP + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.FP+c.FN) / float64(n)
+}
+
+// FNRate returns FN/(FN+TP) (0 when no positives).
+func (c Confusion) FNRate() float64 {
+	if c.FN+c.TP == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.FN+c.TP)
+}
+
+// FPRate returns FP/(FP+TN) (0 when no negatives).
+func (c Confusion) FPRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// CVResult aggregates a Monte-Carlo cross-validation.
+type CVResult struct {
+	// Runs is the number of train/test partitions evaluated.
+	Runs int
+	// MRs, FNs, FPs are the per-run rates.
+	MRs, FNs, FPs []float64
+	// Selected[name] counts how many runs selected the feature.
+	Selected map[string]int
+	// CoefSum[name] accumulates the feature's fitted coefficient over
+	// the runs that selected it.
+	CoefSum map[string]float64
+	// FinalModel is fitted on the full dataset with the overall
+	// most-selected features (at most maxVars).
+	FinalModel *LogitModel
+	// FinalCols are the column names of FinalModel.
+	FinalCols []string
+}
+
+// TrimmedMR returns the trimmed-mean misclassification rate (the
+// paper trims 2% from each end).
+func (r *CVResult) TrimmedMR() float64 { return TrimmedMean(r.MRs, 0.02) }
+
+// TrimmedFN returns the trimmed-mean false-negative rate.
+func (r *CVResult) TrimmedFN() float64 { return TrimmedMean(r.FNs, 0.02) }
+
+// TrimmedFP returns the trimmed-mean false-positive rate.
+func (r *CVResult) TrimmedFP() float64 { return TrimmedMean(r.FPs, 0.02) }
+
+// SuccessRate returns 1 − trimmed MR, the paper's headline number.
+func (r *CVResult) SuccessRate() float64 { return 1 - r.TrimmedMR() }
+
+// RankedFeatures returns feature names by descending selection count
+// (ties broken alphabetically), with selection fraction and mean
+// coefficient — the contents of the paper's Table IV.
+type RankedFeature struct {
+	Name     string
+	Fraction float64
+	MeanCoef float64
+}
+
+// Ranked lists all ever-selected features, most-selected first.
+func (r *CVResult) Ranked() []RankedFeature {
+	out := make([]RankedFeature, 0, len(r.Selected))
+	for name, cnt := range r.Selected {
+		out = append(out, RankedFeature{
+			Name:     name,
+			Fraction: float64(cnt) / float64(r.Runs),
+			MeanCoef: r.CoefSum[name] / float64(cnt),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fraction != out[j].Fraction {
+			return out[i].Fraction > out[j].Fraction
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// MonteCarloCV runs the paper's training protocol: `runs` random
+// 80/20 train/test partitions (sampling without replacement); on each
+// training set, step-wise forward selection (≤ maxVars features by
+// AIC) fits a logistic model, which is then scored on the held-out
+// test set. Selection frequencies and coefficients are aggregated, and
+// a final model is fitted on the full data with the most-selected
+// features.
+func MonteCarloCV(d *Dataset, runs, maxVars int, trainFrac float64, seed int64) (*CVResult, error) {
+	n := d.Len()
+	if n < 10 {
+		return nil, fmt.Errorf("stats: need ≥ 10 observations, have %d", n)
+	}
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &CVResult{
+		Runs:     runs,
+		Selected: make(map[string]int),
+		CoefSum:  make(map[string]float64),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	nTrain := int(trainFrac * float64(n))
+	for run := 0; run < runs; run++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		train := append([]int(nil), idx[:nTrain]...)
+		test := idx[nTrain:]
+
+		trainSet := d.Subset(train, allCols(d))
+		selected, model, err := StepwiseForward(trainSet, maxVars)
+		if err != nil {
+			return nil, fmt.Errorf("stats: run %d: %w", run, err)
+		}
+		for k, j := range selected {
+			name := trainSet.Cols[j]
+			res.Selected[name]++
+			// model.Coef is ordered by selection order (k), not by j.
+			res.CoefSum[name] += model.Coef[k]
+		}
+		// Score on the held-out rows.
+		var c Confusion
+		colIdx := make([]int, len(selected))
+		copy(colIdx, selected)
+		for _, r := range test {
+			x := make([]float64, len(colIdx))
+			for j, cj := range colIdx {
+				x[j] = d.X[r][cj]
+			}
+			pred := model.Predict(x)
+			switch {
+			case pred && d.Y[r]:
+				c.TP++
+			case !pred && !d.Y[r]:
+				c.TN++
+			case pred && !d.Y[r]:
+				c.FP++
+			default:
+				c.FN++
+			}
+		}
+		res.MRs = append(res.MRs, c.MR())
+		res.FNs = append(res.FNs, c.FNRate())
+		res.FPs = append(res.FPs, c.FPRate())
+	}
+
+	// Final model: the maxVars most-selected features on all data.
+	ranked := res.Ranked()
+	var finalCols []int
+	var finalNames []string
+	for _, rf := range ranked {
+		if len(finalCols) >= maxVars {
+			break
+		}
+		for j, name := range d.Cols {
+			if name == rf.Name {
+				finalCols = append(finalCols, j)
+				finalNames = append(finalNames, name)
+			}
+		}
+	}
+	rows := allRows(d)
+	final, err := FitLogistic(d.Subset(rows, finalCols))
+	if err != nil {
+		return nil, err
+	}
+	res.FinalModel = final
+	res.FinalCols = finalNames
+	return res, nil
+}
+
+func allCols(d *Dataset) []int {
+	out := make([]int, len(d.Cols))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func allRows(d *Dataset) []int {
+	out := make([]int, d.Len())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/stats"
+)
+
+func ExampleTrimmedMean() {
+	// The paper reports trimmed means that discard the top and bottom
+	// 2% of its 100 cross-validation runs.
+	runs := make([]float64, 100)
+	for i := range runs {
+		runs[i] = 0.07
+	}
+	runs[0], runs[99] = 0.9, 0.0 // two outlier runs
+	fmt.Printf("%.3f\n", stats.TrimmedMean(runs, 0.02))
+	// Output: 0.070
+}
+
+func ExampleFitLogistic() {
+	// y = 1 exactly when x > 2: a cleanly separable rule the fit
+	// recovers (flagging the separation, as R's glm warns).
+	d := &stats.Dataset{Cols: []string{"x"}}
+	for i := 0; i < 40; i++ {
+		x := float64(i) / 10
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, x > 2)
+	}
+	m, err := stats.FitLogistic(d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("separated:", m.Separated)
+	fmt.Println("predict x=1:", m.Predict([]float64{1}))
+	fmt.Println("predict x=3:", m.Predict([]float64{3}))
+	// Output:
+	// separated: true
+	// predict x=1: false
+	// predict x=3: true
+}

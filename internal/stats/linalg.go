@@ -1,0 +1,151 @@
+// Package stats implements the statistical method of the paper's
+// Section VI from scratch: descriptive statistics (trimmed means),
+// logistic regression fit by iteratively-reweighted least squares,
+// the Akaike information criterion, step-wise forward feature
+// selection, Monte-Carlo cross-validation, and the confusion metrics
+// (misclassification, false-negative and false-positive rates) the
+// paper reports.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports a numerically singular normal-equation system.
+var ErrSingular = errors.New("stats: singular system")
+
+// solveSym solves A x = b for a symmetric positive-definite A (given
+// as a dense row-major n×n slice) using Cholesky decomposition with a
+// small ridge fallback. A and b are not modified.
+func solveSym(a []float64, b []float64, n int) ([]float64, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		ridge := 0.0
+		if attempt > 0 {
+			ridge = math.Pow(10, float64(attempt)-9) // 1e-8, 1e-7, 1e-6
+		}
+		l := make([]float64, n*n)
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			for j := 0; j <= i; j++ {
+				sum := a[i*n+j]
+				if i == j {
+					sum += ridge
+				}
+				for k := 0; k < j; k++ {
+					sum -= l[i*n+k] * l[j*n+k]
+				}
+				if i == j {
+					if sum <= 0 || math.IsNaN(sum) {
+						ok = false
+						break
+					}
+					l[i*n+i] = math.Sqrt(sum)
+				} else {
+					l[i*n+j] = sum / l[j*n+j]
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Forward substitution L y = b.
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sum := b[i]
+			for k := 0; k < i; k++ {
+				sum -= l[i*n+k] * y[k]
+			}
+			y[i] = sum / l[i*n+i]
+		}
+		// Back substitution Lᵀ x = y.
+		x := make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			sum := y[i]
+			for k := i + 1; k < n; k++ {
+				sum -= l[k*n+i] * x[k]
+			}
+			x[i] = sum / l[i*n+i]
+		}
+		return x, nil
+	}
+	return nil, ErrSingular
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// TrimmedMean discards the ⌈frac·n⌉ smallest and largest values and
+// averages the rest — the paper trims the top and bottom 2% of its 100
+// cross-validation runs.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	insertionSort(sorted)
+	k := int(math.Ceil(frac * float64(n)))
+	if 2*k >= n {
+		return Mean(sorted)
+	}
+	return Mean(sorted[k : n-k])
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear
+// interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	insertionSort(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

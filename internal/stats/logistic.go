@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset is a design matrix with a binary response. Rows are
+// observations; Cols[j] names feature j.
+type Dataset struct {
+	Cols []string
+	X    [][]float64 // X[i][j] = feature j of observation i
+	Y    []bool
+}
+
+// Len returns the number of observations.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Subset returns the dataset restricted to the given row indices and
+// feature columns (by index).
+func (d *Dataset) Subset(rows []int, cols []int) *Dataset {
+	out := &Dataset{Cols: make([]string, len(cols))}
+	for j, c := range cols {
+		out.Cols[j] = d.Cols[c]
+	}
+	out.X = make([][]float64, len(rows))
+	out.Y = make([]bool, len(rows))
+	for i, r := range rows {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = d.X[r][c]
+		}
+		out.X[i] = row
+		out.Y[i] = d.Y[r]
+	}
+	return out
+}
+
+// LogitModel is a fitted logistic regression.
+type LogitModel struct {
+	// Cols names the features, aligned with Coef (intercept excluded).
+	Cols []string
+	// Intercept and Coef are on the raw (unstandardized) feature scale.
+	Intercept float64
+	Coef      []float64
+	// Deviance is −2 × log-likelihood at the fit.
+	Deviance float64
+	// AIC = Deviance + 2 × (len(Coef)+1).
+	AIC float64
+	// Iterations the IRLS loop used.
+	Iterations int
+	// Separated reports quasi-complete separation (coefficients pushed
+	// to the clamp; predictions remain usable, as in R's glm warnings).
+	Separated bool
+}
+
+// irls configuration.
+const (
+	irlsMaxIter   = 40
+	irlsTol       = 1e-8
+	irlsCoefClamp = 30 // standardized log-odds per SD; anything here means separation
+)
+
+// FitLogistic fits y ~ X by maximum likelihood (IRLS). Features are
+// standardized internally for numerical stability; returned
+// coefficients are on the raw scale. Constant features get a zero
+// coefficient.
+func FitLogistic(d *Dataset) (*LogitModel, error) {
+	n := d.Len()
+	p := len(d.Cols)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: empty dataset")
+	}
+	// Standardize.
+	mean := make([]float64, p)
+	sd := make([]float64, p)
+	col := make([]float64, n)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = d.X[i][j]
+		}
+		mean[j] = Mean(col)
+		sd[j] = StdDev(col)
+	}
+	// Design matrix with intercept first.
+	q := p + 1
+	xs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, q)
+		row[0] = 1
+		for j := 0; j < p; j++ {
+			if sd[j] > 0 {
+				row[j+1] = (d.X[i][j] - mean[j]) / sd[j]
+			}
+		}
+		xs[i] = row
+	}
+
+	beta := make([]float64, q)
+	var iter int
+	separated := false
+	for iter = 0; iter < irlsMaxIter; iter++ {
+		// Build XᵀWX and XᵀWz.
+		a := make([]float64, q*q)
+		b := make([]float64, q)
+		maxBeta := 0.0
+		for i := 0; i < n; i++ {
+			eta := 0.0
+			for j := 0; j < q; j++ {
+				eta += xs[i][j] * beta[j]
+			}
+			mu := 1 / (1 + math.Exp(-eta))
+			w := mu * (1 - mu)
+			if w < 1e-10 {
+				w = 1e-10
+			}
+			y := 0.0
+			if d.Y[i] {
+				y = 1
+			}
+			z := eta + (y-mu)/w
+			for j := 0; j < q; j++ {
+				wx := w * xs[i][j]
+				b[j] += wx * z
+				for k := 0; k <= j; k++ {
+					a[j*q+k] += wx * xs[i][k]
+				}
+			}
+		}
+		for j := 0; j < q; j++ {
+			for k := j + 1; k < q; k++ {
+				a[j*q+k] = a[k*q+j]
+			}
+		}
+		next, err := solveSym(a, b, q)
+		if err != nil {
+			return nil, err
+		}
+		delta := 0.0
+		for j := 0; j < q; j++ {
+			delta = math.Max(delta, math.Abs(next[j]-beta[j]))
+			if math.Abs(next[j]) > irlsCoefClamp {
+				// Quasi-separation: clamp and stop growing.
+				if next[j] > 0 {
+					next[j] = irlsCoefClamp
+				} else {
+					next[j] = -irlsCoefClamp
+				}
+				separated = true
+			}
+			maxBeta = math.Max(maxBeta, math.Abs(next[j]))
+		}
+		beta = next
+		if delta < irlsTol || (separated && maxBeta >= irlsCoefClamp) {
+			break
+		}
+	}
+
+	// Deviance on the standardized fit.
+	dev := 0.0
+	for i := 0; i < n; i++ {
+		eta := 0.0
+		for j := 0; j < q; j++ {
+			eta += xs[i][j] * beta[j]
+		}
+		mu := 1 / (1 + math.Exp(-eta))
+		mu = math.Min(math.Max(mu, 1e-12), 1-1e-12)
+		if d.Y[i] {
+			dev -= 2 * math.Log(mu)
+		} else {
+			dev -= 2 * math.Log(1-mu)
+		}
+	}
+
+	// Unstandardize.
+	m := &LogitModel{
+		Cols:       append([]string(nil), d.Cols...),
+		Coef:       make([]float64, p),
+		Deviance:   dev,
+		AIC:        dev + 2*float64(q),
+		Iterations: iter + 1,
+		Separated:  separated,
+	}
+	m.Intercept = beta[0]
+	for j := 0; j < p; j++ {
+		if sd[j] > 0 {
+			m.Coef[j] = beta[j+1] / sd[j]
+			m.Intercept -= beta[j+1] * mean[j] / sd[j]
+		}
+	}
+	return m, nil
+}
+
+// Prob returns the predicted probability for one raw feature row.
+func (m *LogitModel) Prob(x []float64) float64 {
+	eta := m.Intercept
+	for j, c := range m.Coef {
+		eta += c * x[j]
+	}
+	return 1 / (1 + math.Exp(-eta))
+}
+
+// Predict returns the hard classification at threshold 0.5.
+func (m *LogitModel) Predict(x []float64) bool { return m.Prob(x) > 0.5 }

@@ -1,0 +1,310 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-1.2909944) > 1e-6 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if s := StdDev([]float64{1}); s != 0 {
+		t.Errorf("StdDev(1 elem) = %v", s)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	// 100 values 1..100 with the paper's 2% trim: drop {1,2} and
+	// {99,100}, mean of 3..98 = 50.5.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	if m := TrimmedMean(xs, 0.02); m != 50.5 {
+		t.Errorf("TrimmedMean = %v, want 50.5", m)
+	}
+	// Outliers get trimmed.
+	xs[99] = 1e12
+	if m := TrimmedMean(xs, 0.02); m > 51 {
+		t.Errorf("TrimmedMean with outlier = %v", m)
+	}
+	// Degenerate trim falls back to the plain mean.
+	if m := TrimmedMean([]float64{1, 2}, 0.5); m != 1.5 {
+		t.Errorf("degenerate trim = %v", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSolveSym(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5].
+	x, err := solveSym([]float64{4, 2, 2, 3}, []float64{10, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.75) > 1e-9 || math.Abs(x[1]-1.5) > 1e-9 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+// synthDataset builds n observations where y = 1 iff 2*x1 - x2 + noise > 0.
+func synthDataset(n int, seed int64, noise float64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Cols: []string{"x1", "x2", "junk"}}
+	for i := 0; i < n; i++ {
+		x1 := rng.NormFloat64()
+		x2 := rng.NormFloat64()
+		junk := rng.NormFloat64()
+		eta := 2*x1 - x2 + noise*rng.NormFloat64()
+		d.X = append(d.X, []float64{x1, x2, junk})
+		d.Y = append(d.Y, eta > 0)
+	}
+	return d
+}
+
+func TestFitLogisticRecoversSigns(t *testing.T) {
+	d := synthDataset(2000, 1, 0.5)
+	m, err := FitLogistic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[0] <= 0 {
+		t.Errorf("coef(x1) = %v, want > 0", m.Coef[0])
+	}
+	if m.Coef[1] >= 0 {
+		t.Errorf("coef(x2) = %v, want < 0", m.Coef[1])
+	}
+	if math.Abs(m.Coef[2]) > math.Abs(m.Coef[0])/4 {
+		t.Errorf("junk coef %v too large vs signal %v", m.Coef[2], m.Coef[0])
+	}
+	// In-sample accuracy should be high.
+	correct := 0
+	for i := range d.X {
+		if m.Predict(d.X[i]) == d.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(d.X)); acc < 0.9 {
+		t.Errorf("in-sample accuracy = %v", acc)
+	}
+}
+
+func TestFitLogisticRawScaleInvariance(t *testing.T) {
+	// Scaling a feature by 1000 must scale its raw coefficient by
+	// 1/1000 and leave predictions identical.
+	d := synthDataset(500, 2, 0.5)
+	m1, err := FitLogistic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := &Dataset{Cols: d.Cols, Y: d.Y}
+	for _, row := range d.X {
+		r := append([]float64(nil), row...)
+		r[0] *= 1000
+		d2.X = append(d2.X, r)
+	}
+	m2, err := FitLogistic(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2.Coef[0]*1000-m1.Coef[0]) > 1e-3*math.Abs(m1.Coef[0]) {
+		t.Errorf("coef not scale-consistent: %v vs %v/1000", m2.Coef[0], m1.Coef[0])
+	}
+	for i := 0; i < 20; i++ {
+		p1 := m1.Prob(d.X[i])
+		p2 := m2.Prob(d2.X[i])
+		if math.Abs(p1-p2) > 1e-6 {
+			t.Fatalf("prediction differs after rescale: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestFitLogisticSeparation(t *testing.T) {
+	// Perfectly separable data: the fit must flag separation and still
+	// predict perfectly rather than blowing up.
+	d := &Dataset{Cols: []string{"x"}}
+	for i := -20; i <= 20; i++ {
+		if i == 0 {
+			continue
+		}
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, i > 0)
+	}
+	m, err := FitLogistic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Separated {
+		t.Error("separation not flagged")
+	}
+	for i := range d.X {
+		if m.Predict(d.X[i]) != d.Y[i] {
+			t.Fatalf("separated fit mispredicts at %v", d.X[i])
+		}
+	}
+}
+
+func TestFitLogisticConstantFeature(t *testing.T) {
+	d := synthDataset(200, 3, 0.5)
+	for i := range d.X {
+		d.X[i][2] = 7 // constant
+	}
+	m, err := FitLogistic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[2] != 0 {
+		t.Errorf("constant feature coef = %v, want 0", m.Coef[2])
+	}
+}
+
+func TestStepwisePicksSignalFirst(t *testing.T) {
+	d := synthDataset(1000, 4, 0.5)
+	selected, model, err := StepwiseForward(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) == 0 || d.Cols[selected[0]] != "x1" {
+		t.Errorf("first selected = %v, want x1", selected)
+	}
+	found := map[string]bool{}
+	for _, j := range selected {
+		found[d.Cols[j]] = true
+	}
+	if found["junk"] {
+		t.Error("junk feature selected")
+	}
+	if model.AIC <= 0 {
+		t.Errorf("AIC = %v", model.AIC)
+	}
+}
+
+func TestAICPenalizesUselessFeatures(t *testing.T) {
+	d := synthDataset(400, 5, 1.5)
+	rows := allRows(d)
+	m1, err := FitLogistic(d.Subset(rows, []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FitLogistic(d.Subset(rows, []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deviance can only go down with more features; AIC should not
+	// improve much (junk is noise).
+	if m2.Deviance > m1.Deviance+1e-6 {
+		t.Errorf("deviance increased with extra feature: %v -> %v", m1.Deviance, m2.Deviance)
+	}
+	if m2.AIC < m1.AIC-2 {
+		t.Errorf("AIC improved too much with junk: %v -> %v", m1.AIC, m2.AIC)
+	}
+}
+
+func TestMonteCarloCV(t *testing.T) {
+	d := synthDataset(300, 6, 0.5)
+	res, err := MonteCarloCV(d, 50, 2, 0.8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 50 || len(res.MRs) != 50 {
+		t.Fatalf("runs = %d, MRs = %d", res.Runs, len(res.MRs))
+	}
+	if mr := res.TrimmedMR(); mr > 0.15 {
+		t.Errorf("trimmed MR = %v, want < 0.15 on easy data", mr)
+	}
+	if sr := res.SuccessRate(); sr < 0.85 {
+		t.Errorf("success rate = %v", sr)
+	}
+	ranked := res.Ranked()
+	if len(ranked) == 0 || ranked[0].Name != "x1" {
+		t.Errorf("top feature = %+v, want x1", ranked)
+	}
+	if ranked[0].Fraction < 0.9 {
+		t.Errorf("x1 selected only %v of runs", ranked[0].Fraction)
+	}
+	if ranked[0].MeanCoef <= 0 {
+		t.Errorf("x1 mean coef = %v, want > 0", ranked[0].MeanCoef)
+	}
+	if res.FinalModel == nil || len(res.FinalCols) == 0 {
+		t.Fatal("no final model")
+	}
+}
+
+func TestMonteCarloCVDeterministic(t *testing.T) {
+	d := synthDataset(200, 7, 0.8)
+	a, err := MonteCarloCV(d, 20, 3, 0.8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloCV(d, 20, 3, 0.8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrimmedMR() != b.TrimmedMR() || a.TrimmedFN() != b.TrimmedFN() {
+		t.Error("CV not deterministic for fixed seed")
+	}
+}
+
+func TestMonteCarloCVTooSmall(t *testing.T) {
+	d := synthDataset(5, 8, 0.5)
+	if _, err := MonteCarloCV(d, 10, 2, 0.8, 1); err == nil {
+		t.Error("tiny dataset accepted")
+	}
+}
+
+func TestConfusionRates(t *testing.T) {
+	c := Confusion{TP: 8, TN: 5, FP: 1, FN: 2}
+	if mr := c.MR(); math.Abs(mr-3.0/16) > 1e-12 {
+		t.Errorf("MR = %v", mr)
+	}
+	if fn := c.FNRate(); math.Abs(fn-0.2) > 1e-12 {
+		t.Errorf("FN = %v", fn)
+	}
+	if fp := c.FPRate(); math.Abs(fp-1.0/6) > 1e-12 {
+		t.Errorf("FP = %v", fp)
+	}
+	var zero Confusion
+	if zero.MR() != 0 || zero.FNRate() != 0 || zero.FPRate() != 0 {
+		t.Error("zero confusion rates not 0")
+	}
+}
+
+// Property: TrimmedMean lies within [min, max].
+func TestTrimmedMeanBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m := TrimmedMean(xs, 0.02)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

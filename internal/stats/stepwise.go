@@ -1,0 +1,53 @@
+package stats
+
+// StepwiseForward selects features by greedy forward selection on AIC:
+// starting from the intercept-only model, repeatedly add the feature
+// that improves AIC the most, stopping when no feature improves it or
+// maxVars are selected (the paper caps at five to avoid over-fitting
+// and multi-collinearity).
+//
+// It returns the selected column indices (in selection order) and the
+// final fitted model.
+func StepwiseForward(d *Dataset, maxVars int) ([]int, *LogitModel, error) {
+	if maxVars <= 0 || maxVars > len(d.Cols) {
+		maxVars = len(d.Cols)
+	}
+	rows := make([]int, d.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	var selected []int
+	base, err := FitLogistic(d.Subset(rows, nil))
+	if err != nil {
+		return nil, nil, err
+	}
+	bestAIC := base.AIC
+	bestModel := base
+
+	used := make([]bool, len(d.Cols))
+	for len(selected) < maxVars {
+		bestJ := -1
+		var bestCand *LogitModel
+		for j := range d.Cols {
+			if used[j] {
+				continue
+			}
+			cand, err := FitLogistic(d.Subset(rows, append(append([]int(nil), selected...), j)))
+			if err != nil {
+				continue // singular with this column; skip it
+			}
+			if cand.AIC < bestAIC-1e-9 && (bestCand == nil || cand.AIC < bestCand.AIC) {
+				bestJ = j
+				bestCand = cand
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		selected = append(selected, bestJ)
+		used[bestJ] = true
+		bestAIC = bestCand.AIC
+		bestModel = bestCand
+	}
+	return selected, bestModel, nil
+}

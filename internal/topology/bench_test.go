@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"testing"
+)
+
+// Routing throughput benchmarks — Route is the hot path of every
+// packet event in the simulators (amortized by the route cache, but
+// cold routes matter at scale).
+
+func BenchmarkTorusRoute(b *testing.B) {
+	torus, err := NewTorus3D(16, 16, 16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := torus.Nodes()
+	var buf []LinkID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = torus.Route(buf[:0], i%n, (i*7+13)%n)
+	}
+}
+
+func BenchmarkDragonflyRoute(b *testing.B) {
+	df, err := NewDragonfly(17, 8, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := df.Nodes()
+	var buf []LinkID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = df.Route(buf[:0], i%n, (i*7+13)%n)
+	}
+}
+
+// BenchmarkDragonflyMinimalVsValiant is the routing-policy ablation:
+// Valiant doubles the global-link traversals for load balance.
+func BenchmarkDragonflyMinimalVsValiant(b *testing.B) {
+	for _, valiant := range []bool{false, true} {
+		name := "minimal"
+		if valiant {
+			name = "valiant"
+		}
+		b.Run(name, func(b *testing.B) {
+			df, err := NewDragonfly(17, 8, 4, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			df.SetValiant(valiant)
+			n := df.Nodes()
+			var buf []LinkID
+			hops := 0
+			for i := 0; i < b.N; i++ {
+				buf = df.Route(buf[:0], i%n, (i*7+13)%n)
+				hops += PathHops(buf, df)
+			}
+			b.ReportMetric(float64(hops)/float64(b.N), "hops/route")
+		})
+	}
+}
+
+func BenchmarkFatTreeRoute(b *testing.B) {
+	ft, err := NewFatTree(64, 32, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := ft.Nodes()
+	var buf []LinkID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ft.Route(buf[:0], i%n, (i*7+13)%n)
+	}
+}

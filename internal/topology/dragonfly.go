@@ -1,0 +1,200 @@
+package topology
+
+import "fmt"
+
+// Dragonfly is a canonical dragonfly (the shape of Cray Aries systems
+// such as Edison): g groups of a routers each, p compute nodes per
+// router, h global links per router. Routers within a group are fully
+// connected by local links; groups are connected by global links spread
+// round-robin over each group's routers.
+//
+// Routing is minimal: at most one local hop to the router holding the
+// right global link, one global hop, and one local hop inside the
+// destination group. SetValiant enables Valiant randomized routing
+// through a deterministically chosen intermediate group (used by
+// ablation benches; minimal is the default, as in SST/Macro's Aries
+// model).
+type Dragonfly struct {
+	groups, routersPerGroup, nodesPerRouter, globalPerRouter int
+
+	links []Link
+	// localLink[g][i][j] is the link from router i to router j inside
+	// group g (i ≠ j).
+	localLink [][][]LinkID
+	// globalLink[g][t] is the link from group g's designated router to
+	// group t; globalFrom[g][t] is that router's index within g.
+	globalLink [][]LinkID
+	globalFrom [][]int
+	injBase    int
+	ejBase     int
+	valiant    bool
+	name       string
+}
+
+// NewDragonfly builds a dragonfly with g groups, a routers per group,
+// p nodes per router, and h global links per router. It requires
+// g-1 ≤ a*h so every group pair gets a dedicated global link.
+func NewDragonfly(g, a, p, h int) (*Dragonfly, error) {
+	if g < 1 || a < 1 || p < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: bad dragonfly shape g=%d a=%d p=%d h=%d", g, a, p, h)
+	}
+	if g > 1 && g-1 > a*h {
+		return nil, fmt.Errorf("topology: dragonfly g=%d needs g-1 ≤ a*h=%d global links per group", g, a*h)
+	}
+	d := &Dragonfly{
+		groups: g, routersPerGroup: a, nodesPerRouter: p, globalPerRouter: h,
+		name: fmt.Sprintf("dragonfly(g=%d,a=%d,p=%d,h=%d)", g, a, p, h),
+	}
+	// Local all-to-all links within each group.
+	d.localLink = make([][][]LinkID, g)
+	for gi := 0; gi < g; gi++ {
+		d.localLink[gi] = make([][]LinkID, a)
+		for i := 0; i < a; i++ {
+			d.localLink[gi][i] = make([]LinkID, a)
+			for j := 0; j < a; j++ {
+				if i == j {
+					d.localLink[gi][i][j] = -1
+					continue
+				}
+				id := LinkID(len(d.links))
+				d.links = append(d.links, Link{Kind: Local, From: int32(d.routerID(gi, i)), To: int32(d.routerID(gi, j))})
+				d.localLink[gi][i][j] = id
+			}
+		}
+	}
+	// Global links: group gi's k-th outgoing connection (to group tj,
+	// skipping itself) leaves router k mod a.
+	d.globalLink = make([][]LinkID, g)
+	d.globalFrom = make([][]int, g)
+	for gi := 0; gi < g; gi++ {
+		d.globalLink[gi] = make([]LinkID, g)
+		d.globalFrom[gi] = make([]int, g)
+		k := 0
+		for tj := 0; tj < g; tj++ {
+			if tj == gi {
+				d.globalLink[gi][tj] = -1
+				d.globalFrom[gi][tj] = -1
+				continue
+			}
+			r := k % a
+			id := LinkID(len(d.links))
+			d.links = append(d.links, Link{Kind: Global, From: int32(d.routerID(gi, r)), To: int32(d.routerID(tj, d.entryRouter(tj, gi)))})
+			d.globalLink[gi][tj] = id
+			d.globalFrom[gi][tj] = r
+			k++
+		}
+	}
+	n := d.Nodes()
+	nr := g * a
+	d.injBase = len(d.links)
+	for i := 0; i < n; i++ {
+		d.links = append(d.links, Link{Kind: Injection, From: int32(nr + i), To: int32(i / p)})
+	}
+	d.ejBase = len(d.links)
+	for i := 0; i < n; i++ {
+		d.links = append(d.links, Link{Kind: Ejection, From: int32(i / p), To: int32(nr + i)})
+	}
+	return d, nil
+}
+
+// FitDragonfly returns a dragonfly sized to hold at least n nodes with
+// p nodes per router, using a = 2h and balanced group counts in the
+// spirit of the canonical a = 2h, g = ah+1 sizing rule.
+func FitDragonfly(n, p int) (*Dragonfly, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 node, got %d", n)
+	}
+	routers := (n + p - 1) / p
+	for h := 1; ; h++ {
+		a := 2 * h
+		g := a*h + 1
+		if g*a >= routers {
+			// Shrink group count to fit, keeping g-1 ≤ a*h.
+			for g > 1 && (g-1)*a >= routers {
+				g--
+			}
+			return NewDragonfly(g, a, p, h)
+		}
+	}
+}
+
+// SetValiant switches between minimal (false) and Valiant (true)
+// routing. It must not be called concurrently with Route.
+func (d *Dragonfly) SetValiant(v bool) { d.valiant = v }
+
+func (d *Dragonfly) routerID(g, r int) int { return g*d.routersPerGroup + r }
+
+// entryRouter returns the router index in group g that terminates the
+// global link arriving from group 'from'. It mirrors the round-robin
+// used for outgoing links so both ends agree.
+func (d *Dragonfly) entryRouter(g, from int) int {
+	k := from
+	if from > g {
+		k--
+	}
+	return k % d.routersPerGroup
+}
+
+// Name implements Topology.
+func (d *Dragonfly) Name() string { return d.name }
+
+// Nodes implements Topology.
+func (d *Dragonfly) Nodes() int { return d.groups * d.routersPerGroup * d.nodesPerRouter }
+
+// NumLinks implements Topology.
+func (d *Dragonfly) NumLinks() int { return len(d.links) }
+
+// Link implements Topology.
+func (d *Dragonfly) Link(id LinkID) Link { return d.links[id] }
+
+// Diameter implements Topology.
+func (d *Dragonfly) Diameter() int {
+	if d.groups == 1 {
+		if d.routersPerGroup > 1 {
+			return 1
+		}
+		return 0
+	}
+	return 3 // local, global, local
+}
+
+// Route implements Topology with minimal (or Valiant) dragonfly routing.
+func (d *Dragonfly) Route(buf []LinkID, src, dst int) []LinkID {
+	if src == dst {
+		return buf
+	}
+	buf = append(buf, LinkID(d.injBase+src))
+	sr := src / d.nodesPerRouter
+	dr := dst / d.nodesPerRouter
+	sg, si := sr/d.routersPerGroup, sr%d.routersPerGroup
+	dg := dr / d.routersPerGroup
+
+	if d.valiant && sg != dg && d.groups > 2 {
+		// Deterministic "random" intermediate group derived from the
+		// pair, so replays are reproducible.
+		mid := (src*31 + dst*17) % d.groups
+		if mid != sg && mid != dg {
+			buf, sg, si = d.routeToGroup(buf, sg, si, mid)
+		}
+	}
+	if sg != dg {
+		buf, sg, si = d.routeToGroup(buf, sg, si, dg)
+	}
+	di := dr % d.routersPerGroup
+	if si != di {
+		buf = append(buf, d.localLink[sg][si][di])
+	}
+	buf = append(buf, LinkID(d.ejBase+dst))
+	return buf
+}
+
+// routeToGroup appends the links taking a message from router (g,i) to
+// the entry router of group tg, returning the new position.
+func (d *Dragonfly) routeToGroup(buf []LinkID, g, i, tg int) ([]LinkID, int, int) {
+	exit := d.globalFrom[g][tg]
+	if i != exit {
+		buf = append(buf, d.localLink[g][i][exit])
+	}
+	buf = append(buf, d.globalLink[g][tg])
+	return buf, tg, d.entryRouter(tg, g)
+}

@@ -1,0 +1,111 @@
+package topology
+
+import "fmt"
+
+// FatTree is a two-level folded-Clos / fat-tree: leaf switches hold the
+// compute nodes, every leaf connects up to every spine switch, and
+// routing is deterministic up*/down* with the up-link (spine) selected
+// by destination node modulo the spine count, which spreads distinct
+// destinations over distinct spines like static D-mod-k routing.
+type FatTree struct {
+	leaves, spines, nodesPerLeaf int
+
+	links []Link
+	// upLink[l][s] is the link from leaf l to spine s; downLink[s][l]
+	// the reverse.
+	upLink   [][]LinkID
+	downLink [][]LinkID
+	injBase  int
+	ejBase   int
+	name     string
+}
+
+// NewFatTree builds a fat tree with the given number of leaf switches,
+// spine switches, and nodes per leaf switch.
+func NewFatTree(leaves, spines, nodesPerLeaf int) (*FatTree, error) {
+	if leaves < 1 || spines < 1 || nodesPerLeaf < 1 {
+		return nil, fmt.Errorf("topology: bad fat tree shape leaves=%d spines=%d nodes/leaf=%d", leaves, spines, nodesPerLeaf)
+	}
+	f := &FatTree{
+		leaves: leaves, spines: spines, nodesPerLeaf: nodesPerLeaf,
+		name: fmt.Sprintf("fattree(l=%d,s=%d,n=%d)", leaves, spines, nodesPerLeaf),
+	}
+	// Switch namespace: leaves 0..leaves-1, spines leaves..leaves+spines-1.
+	f.upLink = make([][]LinkID, leaves)
+	f.downLink = make([][]LinkID, spines)
+	for s := range f.downLink {
+		f.downLink[s] = make([]LinkID, leaves)
+	}
+	for l := 0; l < leaves; l++ {
+		f.upLink[l] = make([]LinkID, spines)
+		for s := 0; s < spines; s++ {
+			f.upLink[l][s] = LinkID(len(f.links))
+			f.links = append(f.links, Link{Kind: Up, From: int32(l), To: int32(leaves + s)})
+		}
+	}
+	for s := 0; s < spines; s++ {
+		for l := 0; l < leaves; l++ {
+			f.downLink[s][l] = LinkID(len(f.links))
+			f.links = append(f.links, Link{Kind: Down, From: int32(leaves + s), To: int32(l)})
+		}
+	}
+	n := f.Nodes()
+	sw := leaves + spines
+	f.injBase = len(f.links)
+	for i := 0; i < n; i++ {
+		f.links = append(f.links, Link{Kind: Injection, From: int32(sw + i), To: int32(i / nodesPerLeaf)})
+	}
+	f.ejBase = len(f.links)
+	for i := 0; i < n; i++ {
+		f.links = append(f.links, Link{Kind: Ejection, From: int32(i / nodesPerLeaf), To: int32(sw + i)})
+	}
+	return f, nil
+}
+
+// FitFatTree returns a fat tree holding at least n nodes with
+// nodesPerLeaf nodes per leaf and a spine count of half the leaf count
+// (2:1 oversubscription, a common deployment point), minimum 1.
+func FitFatTree(n, nodesPerLeaf int) (*FatTree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 node, got %d", n)
+	}
+	leaves := (n + nodesPerLeaf - 1) / nodesPerLeaf
+	spines := (leaves + 1) / 2
+	return NewFatTree(leaves, spines, nodesPerLeaf)
+}
+
+// Name implements Topology.
+func (f *FatTree) Name() string { return f.name }
+
+// Nodes implements Topology.
+func (f *FatTree) Nodes() int { return f.leaves * f.nodesPerLeaf }
+
+// NumLinks implements Topology.
+func (f *FatTree) NumLinks() int { return len(f.links) }
+
+// Link implements Topology.
+func (f *FatTree) Link(id LinkID) Link { return f.links[id] }
+
+// Diameter implements Topology.
+func (f *FatTree) Diameter() int {
+	if f.leaves == 1 {
+		return 0
+	}
+	return 2
+}
+
+// Route implements Topology with deterministic up*/down* routing.
+func (f *FatTree) Route(buf []LinkID, src, dst int) []LinkID {
+	if src == dst {
+		return buf
+	}
+	buf = append(buf, LinkID(f.injBase+src))
+	sl := src / f.nodesPerLeaf
+	dl := dst / f.nodesPerLeaf
+	if sl != dl {
+		s := dst % f.spines // destination-based static spine selection
+		buf = append(buf, f.upLink[sl][s], f.downLink[s][dl])
+	}
+	buf = append(buf, LinkID(f.ejBase+dst))
+	return buf
+}

@@ -1,0 +1,173 @@
+package topology
+
+import "fmt"
+
+// Torus3D is a 3-dimensional torus (the shape of Cray Gemini systems
+// such as Cielito and Hopper) with dimension-order routing. Each router
+// hosts NodesPerRouter compute nodes (Gemini attaches two nodes per
+// router chip).
+type Torus3D struct {
+	dims           [3]int
+	nodesPerRouter int
+	links          []Link
+	// dimLink[router][dim][dir] is the LinkID leaving router along dim
+	// in direction dir (0 = +, 1 = -), or -1 when the dimension is
+	// degenerate.
+	dimLink [][3][2]LinkID
+	injBase int // first injection link; node i injects on injBase+i
+	ejBase  int // first ejection link
+	name    string
+}
+
+// NewTorus3D builds an x × y × z torus with nodesPerRouter nodes
+// attached to every router. All dimensions must be ≥ 1 and
+// nodesPerRouter ≥ 1.
+func NewTorus3D(x, y, z, nodesPerRouter int) (*Torus3D, error) {
+	if x < 1 || y < 1 || z < 1 || nodesPerRouter < 1 {
+		return nil, fmt.Errorf("topology: bad torus shape %dx%dx%d, %d nodes/router", x, y, z, nodesPerRouter)
+	}
+	t := &Torus3D{
+		dims:           [3]int{x, y, z},
+		nodesPerRouter: nodesPerRouter,
+		name:           fmt.Sprintf("torus3d(%dx%dx%d,%dn)", x, y, z, nodesPerRouter),
+	}
+	nr := x * y * z
+	t.dimLink = make([][3][2]LinkID, nr)
+	for r := 0; r < nr; r++ {
+		for d := 0; d < 3; d++ {
+			t.dimLink[r][d][0], t.dimLink[r][d][1] = -1, -1
+		}
+	}
+	for r := 0; r < nr; r++ {
+		c := t.coords(r)
+		for d := 0; d < 3; d++ {
+			if t.dims[d] == 1 {
+				continue
+			}
+			for dir := 0; dir < 2; dir++ {
+				if t.dims[d] == 2 && dir == 1 {
+					// +1 and -1 reach the same neighbor; keep one
+					// physical link and route both directions over it.
+					t.dimLink[r][d][1] = t.dimLink[r][d][0]
+					continue
+				}
+				nc := c
+				if dir == 0 {
+					nc[d] = (c[d] + 1) % t.dims[d]
+				} else {
+					nc[d] = (c[d] - 1 + t.dims[d]) % t.dims[d]
+				}
+				id := LinkID(len(t.links))
+				t.links = append(t.links, Link{Kind: TorusDim, From: int32(r), To: int32(t.routerAt(nc))})
+				t.dimLink[r][d][dir] = id
+			}
+		}
+	}
+	n := nr * nodesPerRouter
+	t.injBase = len(t.links)
+	for i := 0; i < n; i++ {
+		t.links = append(t.links, Link{Kind: Injection, From: int32(nr + i), To: int32(i / nodesPerRouter)})
+	}
+	t.ejBase = len(t.links)
+	for i := 0; i < n; i++ {
+		t.links = append(t.links, Link{Kind: Ejection, From: int32(i / nodesPerRouter), To: int32(nr + i)})
+	}
+	return t, nil
+}
+
+// FitTorus3D returns a torus with nodesPerRouter nodes per router whose
+// node count is at least n, choosing near-cubic dimensions. It is the
+// auto-sizing constructor machine configs use to host a trace.
+func FitTorus3D(n, nodesPerRouter int) (*Torus3D, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 node, got %d", n)
+	}
+	routers := (n + nodesPerRouter - 1) / nodesPerRouter
+	// Find x ≤ y ≤ z with x*y*z ≥ routers, as close to cubic as possible.
+	best := [3]int{1, 1, routers}
+	bestScore := 1 << 62
+	for x := 1; x*x*x <= routers*8; x++ {
+		for y := x; x*y <= routers*4; y++ {
+			z := (routers + x*y - 1) / (x * y)
+			if z < y {
+				z = y
+			}
+			// Score prefers balanced dims and little slack.
+			slack := x*y*z - routers
+			score := slack*16 + (z-x)*(z-x)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{x, y, z}
+			}
+		}
+	}
+	return NewTorus3D(best[0], best[1], best[2], nodesPerRouter)
+}
+
+func (t *Torus3D) routerAt(c [3]int) int {
+	return (c[2]*t.dims[1]+c[1])*t.dims[0] + c[0]
+}
+
+func (t *Torus3D) coords(r int) [3]int {
+	x := r % t.dims[0]
+	y := (r / t.dims[0]) % t.dims[1]
+	z := r / (t.dims[0] * t.dims[1])
+	return [3]int{x, y, z}
+}
+
+// Name implements Topology.
+func (t *Torus3D) Name() string { return t.name }
+
+// Dims returns the torus dimensions.
+func (t *Torus3D) Dims() (x, y, z int) { return t.dims[0], t.dims[1], t.dims[2] }
+
+// Nodes implements Topology.
+func (t *Torus3D) Nodes() int {
+	return t.dims[0] * t.dims[1] * t.dims[2] * t.nodesPerRouter
+}
+
+// NumLinks implements Topology.
+func (t *Torus3D) NumLinks() int { return len(t.links) }
+
+// Link implements Topology.
+func (t *Torus3D) Link(id LinkID) Link { return t.links[id] }
+
+// Diameter implements Topology.
+func (t *Torus3D) Diameter() int {
+	d := 0
+	for i := 0; i < 3; i++ {
+		d += t.dims[i] / 2
+	}
+	return d
+}
+
+// Route implements Topology using deterministic dimension-order (X then
+// Y then Z) routing, taking the shorter wraparound direction in each
+// dimension (ties break positive).
+func (t *Torus3D) Route(buf []LinkID, src, dst int) []LinkID {
+	if src == dst {
+		return buf
+	}
+	buf = append(buf, LinkID(t.injBase+src))
+	cur := t.coords(src / t.nodesPerRouter)
+	dstC := t.coords(dst / t.nodesPerRouter)
+	for d := 0; d < 3; d++ {
+		for cur[d] != dstC[d] {
+			size := t.dims[d]
+			fwd := (dstC[d] - cur[d] + size) % size
+			dir := 0
+			if fwd > size/2 { // ties (fwd == size/2) break positive
+				dir = 1
+			}
+			r := t.routerAt(cur)
+			buf = append(buf, t.dimLink[r][d][dir])
+			if dir == 0 {
+				cur[d] = (cur[d] + 1) % size
+			} else {
+				cur[d] = (cur[d] - 1 + size) % size
+			}
+		}
+	}
+	buf = append(buf, LinkID(t.ejBase+dst))
+	return buf
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// Binary trace format ("HTRC"): a compact varint-based encoding in the
+// spirit of DUMPI's binary record stream. Layout:
+//
+//	magic "HTRC", version uvarint
+//	meta: strings (uvarint len + bytes), uvarints, flag byte
+//	comm table: count, then per-comm member count + delta-coded members
+//	per rank: event count, then per-event field stream
+//
+// Times are delta-coded per rank (Entry relative to previous Exit,
+// Exit relative to Entry) so long traces stay small.
+
+const (
+	binaryMagic   = "HTRC"
+	binaryVersion = 1
+)
+
+// ErrBadFormat reports a malformed or truncated binary trace stream.
+var ErrBadFormat = errors.New("trace: bad binary format")
+
+// Write encodes t in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	put := func(v uint64) { buf = binary.AppendUvarint(buf[:0], v); bw.Write(buf) }
+	putI := func(v int64) { buf = binary.AppendVarint(buf[:0], v); bw.Write(buf) }
+	putS := func(s string) { put(uint64(len(s))); bw.WriteString(s) }
+
+	bw.WriteString(binaryMagic)
+	put(binaryVersion)
+
+	putS(t.Meta.App)
+	putS(t.Meta.Class)
+	putS(t.Meta.Machine)
+	put(uint64(t.Meta.NumRanks))
+	put(uint64(t.Meta.RanksPerNode))
+	putI(t.Meta.Seed)
+	var flags byte
+	if t.Meta.UsesCommSplit {
+		flags |= 1
+	}
+	if t.Meta.UsesThreadMultiple {
+		flags |= 2
+	}
+	bw.WriteByte(flags)
+
+	put(uint64(t.Comms.Len()))
+	for c := 0; c < t.Comms.Len(); c++ {
+		members := t.Comms.Members(CommID(c))
+		put(uint64(len(members)))
+		prev := int32(0)
+		for _, m := range members {
+			putI(int64(m - prev)) // delta; first is absolute from 0
+			prev = m
+		}
+	}
+
+	if len(t.Ranks) != t.Meta.NumRanks {
+		return fmt.Errorf("trace: %d rank streams but meta says %d ranks",
+			len(t.Ranks), t.Meta.NumRanks)
+	}
+	for _, evs := range t.Ranks {
+		put(uint64(len(evs)))
+		var cursor simtime.Time
+		for i := range evs {
+			e := &evs[i]
+			bw.WriteByte(byte(e.Op))
+			putI(int64(e.Entry - cursor))
+			putI(int64(e.Exit - e.Entry))
+			cursor = e.Exit
+			switch {
+			case e.Op == OpCompute:
+				// Times only.
+			case e.Op.IsP2P():
+				putI(int64(e.Peer))
+				putI(int64(e.Tag))
+				put(uint64(e.Bytes))
+				putI(int64(e.Comm))
+				putI(int64(e.Req))
+			case e.Op == OpWait:
+				putI(int64(e.Req))
+			case e.Op == OpWaitall:
+				put(uint64(len(e.Reqs)))
+				for _, r := range e.Reqs {
+					putI(int64(r))
+				}
+			case e.Op == OpAlltoallv:
+				putI(int64(e.Comm))
+				put(uint64(len(e.SendBytes)))
+				for _, b := range e.SendBytes {
+					put(uint64(b))
+				}
+			default: // remaining collectives
+				putI(int64(e.Comm))
+				putI(int64(e.Root))
+				put(uint64(e.Bytes))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a binary trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	d := &decoder{br: br}
+	if v := d.uvarint(); v != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+
+	var meta Meta
+	meta.App = d.str()
+	meta.Class = d.str()
+	meta.Machine = d.str()
+	meta.NumRanks = int(d.uvarint())
+	meta.RanksPerNode = int(d.uvarint())
+	meta.Seed = d.varint()
+	flags := d.byte()
+	meta.UsesCommSplit = flags&1 != 0
+	meta.UsesThreadMultiple = flags&2 != 0
+	if d.err != nil {
+		return nil, d.fail("meta")
+	}
+	const maxRanks = 1 << 24
+	if meta.NumRanks < 0 || meta.NumRanks > maxRanks {
+		return nil, fmt.Errorf("%w: implausible rank count %d", ErrBadFormat, meta.NumRanks)
+	}
+
+	t := New(meta)
+	nComms := int(d.uvarint())
+	if d.err != nil || nComms < 1 || nComms > maxRanks {
+		return nil, d.fail("comm table")
+	}
+	for c := 0; c < nComms; c++ {
+		n := int(d.uvarint())
+		if d.err != nil || n < 0 || n > meta.NumRanks {
+			return nil, d.fail("comm members")
+		}
+		members := make([]int32, n)
+		prev := int32(0)
+		for i := range members {
+			prev += int32(d.varint())
+			members[i] = prev
+		}
+		if c > 0 { // world is implicit in New
+			t.Comms.Add(members)
+		}
+	}
+
+	for rank := 0; rank < meta.NumRanks; rank++ {
+		n := int(d.uvarint())
+		if d.err != nil || n < 0 {
+			return nil, d.fail("event count")
+		}
+		evs := make([]Event, n)
+		var cursor simtime.Time
+		for i := range evs {
+			e := &evs[i]
+			e.Op = Op(d.byte())
+			if !e.Op.Valid() {
+				return nil, fmt.Errorf("%w: rank %d event %d: bad op", ErrBadFormat, rank, i)
+			}
+			e.Entry = cursor + simtime.Time(d.varint())
+			e.Exit = e.Entry + simtime.Time(d.varint())
+			cursor = e.Exit
+			e.Peer, e.Req = NoPeer, NoReq
+			switch {
+			case e.Op == OpCompute:
+			case e.Op.IsP2P():
+				e.Peer = int32(d.varint())
+				e.Tag = int32(d.varint())
+				e.Bytes = int64(d.uvarint())
+				e.Comm = CommID(d.varint())
+				e.Req = int32(d.varint())
+			case e.Op == OpWait:
+				e.Req = int32(d.varint())
+			case e.Op == OpWaitall:
+				k := int(d.uvarint())
+				if d.err != nil || k < 0 || k > math.MaxInt32 {
+					return nil, d.fail("waitall reqs")
+				}
+				e.Reqs = make([]int32, k)
+				for j := range e.Reqs {
+					e.Reqs[j] = int32(d.varint())
+				}
+			case e.Op == OpAlltoallv:
+				e.Comm = CommID(d.varint())
+				k := int(d.uvarint())
+				if d.err != nil || k < 0 || k > maxRanks {
+					return nil, d.fail("alltoallv counts")
+				}
+				e.SendBytes = make([]int64, k)
+				for j := range e.SendBytes {
+					e.SendBytes[j] = int64(d.uvarint())
+				}
+			default:
+				e.Comm = CommID(d.varint())
+				e.Root = int32(d.varint())
+				e.Bytes = int64(d.uvarint())
+			}
+			if d.err != nil {
+				return nil, d.fail(fmt.Sprintf("rank %d event %d", rank, i))
+			}
+		}
+		t.Ranks[rank] = evs
+	}
+	return t, nil
+}
+
+type decoder struct {
+	br  *bufio.Reader
+	err error
+}
+
+func (d *decoder) fail(what string) error {
+	if d.err == nil {
+		d.err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("%w: %s: %v", ErrBadFormat, what, d.err)
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.br)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.br.ReadByte()
+	if err != nil {
+		d.err = err
+	}
+	return b
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		d.err = fmt.Errorf("string length %d too large", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.br, b); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// CommID names a communicator within a trace. CommWorld (0) always
+// exists and contains every rank.
+type CommID int32
+
+// CommWorld is the identifier of MPI_COMM_WORLD.
+const CommWorld CommID = 0
+
+// NoPeer marks the Peer field of events that have no point-to-point
+// peer, and NoReq marks an unused request field.
+const (
+	NoPeer = -1
+	NoReq  = -1
+)
+
+// Event is one recorded MPI call (or local computation interval) on one
+// rank. Entry and Exit are the measured wall-clock times of the call on
+// the machine where the trace was collected; replay tools use their
+// difference for computation and re-cost communication themselves.
+//
+// Field usage by operation:
+//
+//	Compute                Entry/Exit only
+//	Send/Isend             Peer (destination, world rank), Tag, Bytes, Comm, Req (Isend)
+//	Recv/Irecv             Peer (source, world rank), Tag, Bytes, Comm, Req (Irecv)
+//	Wait                   Req
+//	Waitall                Reqs
+//	Barrier                Comm
+//	Bcast/Reduce/...       Comm, Root, Bytes (per-member payload)
+//	Alltoall               Comm, Bytes (per-destination payload)
+//	Alltoallv              Comm, SendBytes (per-destination payloads)
+type Event struct {
+	Op    Op
+	Entry simtime.Time
+	Exit  simtime.Time
+
+	Peer  int32
+	Tag   int32
+	Root  int32
+	Comm  CommID
+	Req   int32
+	Bytes int64
+
+	// Reqs holds the request set of a Waitall.
+	Reqs []int32
+	// SendBytes holds the per-destination payloads of an Alltoallv,
+	// indexed by communicator member position (not world rank).
+	SendBytes []int64
+}
+
+// Duration returns the measured time the call occupied on its rank.
+func (e *Event) Duration() simtime.Time { return e.Exit - e.Entry }
+
+// TotalSendBytes returns the bytes this event injects into the network
+// from the calling rank's perspective: the payload of sends, and the
+// per-member payload times fan-out for the sending side of collectives.
+// Receives contribute zero. nMembers is the size of the event's
+// communicator (used for alltoall fan-out).
+func (e *Event) TotalSendBytes(nMembers int) int64 {
+	switch e.Op {
+	case OpSend, OpIsend:
+		return e.Bytes
+	case OpBcast, OpReduce, OpAllreduce, OpGather, OpAllgather,
+		OpScatter, OpReduceScatter:
+		return e.Bytes
+	case OpAlltoall:
+		return e.Bytes * int64(nMembers)
+	case OpAlltoallv:
+		var sum int64
+		for _, b := range e.SendBytes {
+			sum += b
+		}
+		return sum
+	}
+	return 0
+}
+
+// String renders a compact single-line description, for debugging.
+func (e *Event) String() string {
+	switch {
+	case e.Op == OpCompute:
+		return fmt.Sprintf("compute[%v..%v]", e.Entry, e.Exit)
+	case e.Op.IsP2P():
+		return fmt.Sprintf("%s(peer=%d tag=%d bytes=%d req=%d)[%v..%v]",
+			e.Op, e.Peer, e.Tag, e.Bytes, e.Req, e.Entry, e.Exit)
+	case e.Op.IsWait():
+		return fmt.Sprintf("%s(req=%d reqs=%v)[%v..%v]", e.Op, e.Req, e.Reqs, e.Entry, e.Exit)
+	default:
+		return fmt.Sprintf("%s(comm=%d root=%d bytes=%d)[%v..%v]",
+			e.Op, e.Comm, e.Root, e.Bytes, e.Entry, e.Exit)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the decoders must never panic or hang on arbitrary
+// input, and anything they accept must either validate or fail
+// validation gracefully. The seed corpus (valid encodings plus
+// mutations) runs as regression tests under plain `go test`; use
+// `go test -fuzz=FuzzRead ./internal/trace` to explore further.
+
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	for s := int64(1); s <= 3; s++ {
+		tr := randomTrace(rand.New(rand.NewSource(s)))
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err == nil {
+			seeds = append(seeds, buf.Bytes())
+		}
+	}
+	seeds = append(seeds, []byte("HTRC"), []byte("HTRC\x01"), []byte{}, []byte("garbage"))
+	return seeds
+}
+
+func FuzzRead(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be structurally walkable.
+		_ = tr.NumEvents()
+		_ = tr.MeasuredTotal()
+		_ = tr.Validate() // may fail; must not panic
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	tr := randomTrace(rand.New(rand.NewSource(9)))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err == nil {
+		f.Add(buf.String())
+	}
+	f.Add(`{"meta":{"NumRanks":1},"comms":[[0]],"ranks":[[]]}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		_ = tr.NumEvents()
+		_ = tr.Validate()
+	})
+}
+
+func FuzzReadDUMPIASCII(f *testing.F) {
+	f.Add(dumpiRank0)
+	f.Add(dumpiRank1)
+	f.Add("MPI_Send entering at walltime 0.1.\n  int dest=0\nMPI_Send returning at walltime 0.2.\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadDUMPIASCII(Meta{App: "fuzz", NumRanks: 1},
+			[]io.Reader{strings.NewReader(data)})
+		if err != nil {
+			return
+		}
+		_ = tr.NumEvents()
+	})
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// JSON codec: a self-describing interchange format for traces, much
+// larger than the binary format but convenient for inspection and for
+// feeding external tools. Times are picosecond integers.
+
+type jsonTrace struct {
+	Meta  Meta        `json:"meta"`
+	Comms [][]int32   `json:"comms"`
+	Ranks [][]jsonEvt `json:"ranks"`
+}
+
+type jsonEvt struct {
+	Op    string  `json:"op"`
+	Entry int64   `json:"entry"`
+	Exit  int64   `json:"exit"`
+	Peer  *int32  `json:"peer,omitempty"`
+	Tag   int32   `json:"tag,omitempty"`
+	Root  int32   `json:"root,omitempty"`
+	Comm  CommID  `json:"comm,omitempty"`
+	Req   *int32  `json:"req,omitempty"`
+	Bytes int64   `json:"bytes,omitempty"`
+	Reqs  []int32 `json:"reqs,omitempty"`
+	Sendb []int64 `json:"sendBytes,omitempty"`
+}
+
+// WriteJSON encodes t as JSON.
+func WriteJSON(w io.Writer, t *Trace) error {
+	jt := jsonTrace{Meta: t.Meta}
+	for c := 0; c < t.Comms.Len(); c++ {
+		jt.Comms = append(jt.Comms, t.Comms.Members(CommID(c)))
+	}
+	jt.Ranks = make([][]jsonEvt, len(t.Ranks))
+	for r, evs := range t.Ranks {
+		out := make([]jsonEvt, len(evs))
+		for i := range evs {
+			e := &evs[i]
+			je := jsonEvt{
+				Op:    e.Op.String(),
+				Entry: int64(e.Entry),
+				Exit:  int64(e.Exit),
+				Tag:   e.Tag,
+				Root:  e.Root,
+				Comm:  e.Comm,
+				Bytes: e.Bytes,
+				Reqs:  e.Reqs,
+				Sendb: e.SendBytes,
+			}
+			if e.Peer != NoPeer {
+				p := e.Peer
+				je.Peer = &p
+			}
+			if e.Req != NoReq {
+				q := e.Req
+				je.Req = &q
+			}
+			out[i] = je
+		}
+		jt.Ranks[r] = out
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// opByName resolves the lowercase operation names String produces.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := Op(0); op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// ReadJSON decodes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	if jt.Meta.NumRanks != len(jt.Ranks) {
+		return nil, fmt.Errorf("trace: meta says %d ranks, body has %d", jt.Meta.NumRanks, len(jt.Ranks))
+	}
+	t := New(jt.Meta)
+	for c, members := range jt.Comms {
+		if c == 0 {
+			continue // world is implicit
+		}
+		t.Comms.Add(members)
+	}
+	for r, evs := range jt.Ranks {
+		out := make([]Event, len(evs))
+		for i, je := range evs {
+			op, ok := opByName[je.Op]
+			if !ok {
+				return nil, fmt.Errorf("trace: rank %d event %d: unknown op %q", r, i, je.Op)
+			}
+			e := Event{
+				Op:    op,
+				Entry: simtime.Time(je.Entry),
+				Exit:  simtime.Time(je.Exit),
+				Tag:   je.Tag,
+				Root:  je.Root,
+				Comm:  je.Comm,
+				Bytes: je.Bytes,
+				Reqs:  je.Reqs,
+				Peer:  NoPeer,
+				Req:   NoReq,
+			}
+			e.SendBytes = je.Sendb
+			if je.Peer != nil {
+				e.Peer = *je.Peer
+			}
+			if je.Req != nil {
+				e.Req = *je.Req
+			}
+			out[i] = e
+		}
+		t.Ranks[r] = out
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, tr); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("ReadJSON: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Meta, got.Meta) {
+			return false
+		}
+		if !commTablesEqual(&tr.Comms, &got.Comms) {
+			return false
+		}
+		for r := range tr.Ranks {
+			for i := range tr.Ranks[r] {
+				a, b := tr.Ranks[r][i], got.Ranks[r][i]
+				// Reqs/SendBytes nil-vs-empty normalize through JSON.
+				a.Reqs, b.Reqs = nil, nil
+				a.SendBytes, b.SendBytes = nil, nil
+				if !reflect.DeepEqual(a, b) {
+					t.Logf("rank %d event %d: %+v vs %+v", r, i, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONBinaryAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr := randomTrace(rng)
+	var jb, bb bytes.Buffer
+	if err := WriteJSON(&jb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bb, tr); err != nil {
+		t.Fatal(err)
+	}
+	jsonLen, binLen := jb.Len(), bb.Len()
+	fromJSON, err := ReadJSON(&jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Read(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.NumEvents() != fromBin.NumEvents() {
+		t.Fatalf("codecs disagree: %d vs %d events", fromJSON.NumEvents(), fromBin.NumEvents())
+	}
+	if err := fromJSON.Validate(); err != nil {
+		t.Errorf("JSON round trip invalid: %v", err)
+	}
+	if err := fromBin.Validate(); err != nil {
+		t.Errorf("binary round trip invalid: %v", err)
+	}
+	// The binary format should be much denser.
+	if binLen >= jsonLen {
+		t.Errorf("binary (%d B) not smaller than JSON (%d B)", binLen, jsonLen)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not json",
+		`{"meta":{"NumRanks":3},"ranks":[[]]}`, // rank count mismatch
+		`{"meta":{"NumRanks":1},"comms":[[0]],"ranks":[[{"op":"zap"}]]}`, // unknown op
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSON(%q) accepted", in)
+		}
+	}
+}

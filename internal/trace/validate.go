@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation checks the structural invariants a replayable trace must
+// satisfy. Replay engines depend on these and may deadlock or panic on
+// traces that violate them, so generators and decoders validate first.
+
+// ErrInvalid is wrapped by all validation failures.
+var ErrInvalid = errors.New("trace: invalid")
+
+// Validate checks the trace's structural invariants:
+//
+//   - per-rank timestamps are monotone (Entry ≤ Exit, non-decreasing);
+//   - p2p peers are in range and are not the sender itself;
+//   - nonblocking requests are unique per rank and every wait references
+//     a previously issued, not-yet-completed request;
+//   - every send has a matching receive with identical (peer, tag, comm,
+//     bytes) and vice versa;
+//   - collective events appear in the same order with identical
+//     parameters on every member of their communicator;
+//   - communicator references are in range, and every rank that issues
+//     an event on a communicator is a member of it.
+func (t *Trace) Validate() error {
+	if len(t.Ranks) != t.Meta.NumRanks {
+		return fmt.Errorf("%w: %d rank streams, meta says %d", ErrInvalid, len(t.Ranks), t.Meta.NumRanks)
+	}
+	if err := t.validateLocal(); err != nil {
+		return err
+	}
+	if err := t.validateMatching(); err != nil {
+		return err
+	}
+	return t.validateCollectives()
+}
+
+func (t *Trace) validateLocal() error {
+	n := int32(t.Meta.NumRanks)
+	for rank, evs := range t.Ranks {
+		pending := make(map[int32]bool)
+		var cursor = evs // for error context only
+		_ = cursor
+		prevExit := int64(-1)
+		for i := range evs {
+			e := &evs[i]
+			if !e.Op.Valid() {
+				return fmt.Errorf("%w: rank %d event %d: bad op %d", ErrInvalid, rank, i, e.Op)
+			}
+			if e.Exit < e.Entry {
+				return fmt.Errorf("%w: rank %d event %d: exit %v before entry %v", ErrInvalid, rank, i, e.Exit, e.Entry)
+			}
+			if int64(e.Entry) < prevExit {
+				return fmt.Errorf("%w: rank %d event %d: entry %v before previous exit", ErrInvalid, rank, i, e.Entry)
+			}
+			prevExit = int64(e.Exit)
+
+			if e.Op.IsP2P() {
+				if e.Peer < 0 || e.Peer >= n {
+					return fmt.Errorf("%w: rank %d event %d: peer %d out of range", ErrInvalid, rank, i, e.Peer)
+				}
+				if int(e.Peer) == rank {
+					return fmt.Errorf("%w: rank %d event %d: self-messaging", ErrInvalid, rank, i)
+				}
+				if e.Bytes < 0 {
+					return fmt.Errorf("%w: rank %d event %d: negative bytes", ErrInvalid, rank, i)
+				}
+			}
+			if e.Op.IsCollective() || e.Op.IsP2P() {
+				if int(e.Comm) < 0 || int(e.Comm) >= t.Comms.Len() {
+					return fmt.Errorf("%w: rank %d event %d: comm %d out of range", ErrInvalid, rank, i, e.Comm)
+				}
+				if !t.Comms.Contains(e.Comm, int32(rank)) {
+					return fmt.Errorf("%w: rank %d event %d: rank not in comm %d", ErrInvalid, rank, i, e.Comm)
+				}
+			}
+			switch {
+			case e.Op.IsNonblocking():
+				if e.Req == NoReq {
+					return fmt.Errorf("%w: rank %d event %d: nonblocking op without request", ErrInvalid, rank, i)
+				}
+				if pending[e.Req] {
+					return fmt.Errorf("%w: rank %d event %d: request %d reused while pending", ErrInvalid, rank, i, e.Req)
+				}
+				pending[e.Req] = true
+			case e.Op == OpWait:
+				if !pending[e.Req] {
+					return fmt.Errorf("%w: rank %d event %d: wait on unknown request %d", ErrInvalid, rank, i, e.Req)
+				}
+				delete(pending, e.Req)
+			case e.Op == OpWaitall:
+				for _, r := range e.Reqs {
+					if !pending[r] {
+						return fmt.Errorf("%w: rank %d event %d: waitall on unknown request %d", ErrInvalid, rank, i, r)
+					}
+					delete(pending, r)
+				}
+			case e.Op == OpAlltoallv:
+				if len(e.SendBytes) != t.Comms.Size(e.Comm) {
+					return fmt.Errorf("%w: rank %d event %d: alltoallv counts len %d != comm size %d",
+						ErrInvalid, rank, i, len(e.SendBytes), t.Comms.Size(e.Comm))
+				}
+			}
+			if e.Op.IsRooted() && !t.Comms.Contains(e.Comm, e.Root) {
+				return fmt.Errorf("%w: rank %d event %d: root %d not in comm %d", ErrInvalid, rank, i, e.Root, e.Comm)
+			}
+		}
+		if len(pending) != 0 {
+			return fmt.Errorf("%w: rank %d: %d requests never completed", ErrInvalid, rank, len(pending))
+		}
+	}
+	return nil
+}
+
+// matchKey identifies a point-to-point matching bucket. Trace replays
+// match deterministically on (sender, receiver, tag, comm) in program
+// order, the way the generated (non-wildcard) programs communicate.
+type matchKey struct {
+	src, dst, tag int32
+	comm          CommID
+}
+
+func (t *Trace) validateMatching() error {
+	type msg struct{ bytes int64 }
+	sends := make(map[matchKey][]msg)
+	recvs := make(map[matchKey][]msg)
+	for rank, evs := range t.Ranks {
+		for i := range evs {
+			e := &evs[i]
+			switch e.Op {
+			case OpSend, OpIsend:
+				k := matchKey{int32(rank), e.Peer, e.Tag, e.Comm}
+				sends[k] = append(sends[k], msg{e.Bytes})
+			case OpRecv, OpIrecv:
+				k := matchKey{e.Peer, int32(rank), e.Tag, e.Comm}
+				recvs[k] = append(recvs[k], msg{e.Bytes})
+			}
+		}
+	}
+	for k, ss := range sends {
+		rs := recvs[k]
+		if len(ss) != len(rs) {
+			return fmt.Errorf("%w: channel %d->%d tag %d comm %d: %d sends vs %d recvs",
+				ErrInvalid, k.src, k.dst, k.tag, k.comm, len(ss), len(rs))
+		}
+		for i := range ss {
+			if ss[i].bytes != rs[i].bytes {
+				return fmt.Errorf("%w: channel %d->%d tag %d comm %d msg %d: %d bytes sent vs %d expected",
+					ErrInvalid, k.src, k.dst, k.tag, k.comm, i, ss[i].bytes, rs[i].bytes)
+			}
+		}
+		delete(recvs, k)
+	}
+	for k, rs := range recvs {
+		if len(rs) > 0 {
+			return fmt.Errorf("%w: channel %d->%d tag %d comm %d: %d recvs with no send",
+				ErrInvalid, k.src, k.dst, k.tag, k.comm, len(rs))
+		}
+	}
+	return nil
+}
+
+type collSig struct {
+	op    Op
+	root  int32
+	bytes int64
+}
+
+func (t *Trace) validateCollectives() error {
+	// Per communicator, every member must observe the same ordered
+	// sequence of collective signatures.
+	perComm := make([][][]collSig, t.Comms.Len()) // [comm][memberPos][]sig
+	for c := range perComm {
+		perComm[c] = make([][]collSig, t.Comms.Size(CommID(c)))
+	}
+	for rank, evs := range t.Ranks {
+		for i := range evs {
+			e := &evs[i]
+			if !e.Op.IsCollective() {
+				continue
+			}
+			pos := t.Comms.Position(e.Comm, int32(rank))
+			sig := collSig{e.Op, e.Root, e.Bytes}
+			if e.Op == OpAlltoallv {
+				sig.bytes = 0 // per-member payloads differ by design
+			}
+			perComm[e.Comm][pos] = append(perComm[e.Comm][pos], sig)
+		}
+	}
+	for c, byMember := range perComm {
+		for pos := 1; pos < len(byMember); pos++ {
+			if len(byMember[pos]) != len(byMember[0]) {
+				return fmt.Errorf("%w: comm %d: member %d saw %d collectives, member 0 saw %d",
+					ErrInvalid, c, pos, len(byMember[pos]), len(byMember[0]))
+			}
+			for i := range byMember[pos] {
+				if byMember[pos][i] != byMember[0][i] {
+					return fmt.Errorf("%w: comm %d collective %d: member %d signature %+v != member 0 %+v",
+						ErrInvalid, c, i, pos, byMember[pos][i], byMember[0][i])
+				}
+			}
+		}
+	}
+	return nil
+}

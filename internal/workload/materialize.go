@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"fmt"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/trace"
+)
+
+// MaterializeSpec generates a custom-spec trace and stamps measured
+// timestamps, like Materialize does for built-in applications.
+func MaterializeSpec(s *Spec, p Params) (*trace.Trace, error) {
+	tr, err := FromSpec(s, p)
+	if err != nil {
+		return nil, err
+	}
+	return stamp(tr, p)
+}
+
+// Materialize generates the program for p and stamps "measured"
+// timestamps into it by executing it on p.Machine's detailed
+// packet-flow contention simulator with the default system-noise
+// model. The result plays the role of a DUMPI trace collected on the
+// real machine: its times embed contention and noise that prediction
+// replays do not reproduce.
+func Materialize(p Params) (*trace.Trace, error) {
+	tr, err := Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	return stamp(tr, p)
+}
+
+// stamp executes the program on its machine's detailed simulator with
+// noise and writes the measured timestamps into the trace.
+func stamp(tr *trace.Trace, p Params) (*trace.Trace, error) {
+	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Meta.RanksPerNode == 0 {
+		// Record the machine's actual placement density so the RN/N
+		// features reflect the collection configuration.
+		tr.Meta.RanksPerNode = mach.RanksPerNode
+	}
+	_, err = mpisim.Replay(tr, simnet.PacketFlow, mach, simnet.Config{}, mpisim.Options{
+		Record:  true,
+		Perturb: mpisim.DefaultNoise(p.Seed, p.Ranks),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: ground-truth execution of %s: %w", tr.Meta.ID(), err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"math/bits"
+
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+)
+
+// NAS Parallel Benchmark generators. All NPB codes strong-scale: the
+// problem is fixed per class, so per-rank compute shrinks with rank
+// count while per-rank communication shrinks more slowly (halo) or not
+// at all (transpose), pushing the communication fraction up with
+// scale — which is exactly the behaviour the study's Table Ib spread
+// relies on.
+
+// strongCompute returns the per-rank per-iteration compute duration
+// for a code whose class-B total work is base (summed over 64 ranks).
+// NPB codes strong-scale: fixed problem, so per-rank work shrinks with
+// rank count.
+func (g *gen) strongCompute(base simtime.Time) simtime.Time {
+	return base.Scale(g.scale * 64 / float64(g.n))
+}
+
+// weakCompute returns the per-rank per-iteration compute duration for a
+// weak-scaled code: constant per-rank work, as the DOE mini-apps and
+// production codes are run (bigger machines solve bigger problems).
+func (g *gen) weakCompute(base simtime.Time) simtime.Time {
+	return base.Scale(g.scale)
+}
+
+// weakFaceBytes returns the face-halo payload for a weak-scaled 3-D
+// decomposition with cellsPerRank cells per rank (class B) and w words
+// per cell — independent of rank count.
+func (g *gen) weakFaceBytes(cellsPerRank int, w int64) int64 {
+	per := float64(cellsPerRank) * g.scale
+	b := int64(pow23(per) * 8 * float64(w))
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// subgridFaceBytes returns the face-halo payload for a strong-scaled
+// 3-D grid of baseCells³ cells (class B) split over n ranks, w words
+// per cell.
+func (g *gen) subgridFaceBytes(baseCells int, w int64) int64 {
+	cells := float64(baseCells*baseCells*baseCells) * g.scale
+	per := cells / float64(g.n)
+	face := pow23(per)
+	b := int64(face * 8 * float64(w))
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+// pow23 computes x^(2/3) without importing math for clarity elsewhere.
+func pow23(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// x^(2/3) = exp(2/3 ln x); cheap Newton-free approximation via
+	// repeated sqrt: x^(2/3) = (x^2)^(1/3); use math.Cbrt equivalent.
+	return cbrt(x * x)
+}
+
+func cbrt(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	y := x
+	for i := 0; i < 40; i++ {
+		y = (2*y + x/(y*y)) / 3
+	}
+	return y
+}
+
+// genCG models NPB CG: per iteration, log2(n) pairwise reduce
+// exchanges along a hypercube-like pattern (the row/column sum
+// exchanges of the 2-D decomposition) plus two scalar allreduces.
+func genCG(g *gen) error {
+	bytes := g.subgridFaceBytes(96, 1)
+	for it := 0; it < g.iters; it++ {
+		g.computeAll(g.strongCompute(ms(4.5)), 0.02)
+		dims := bits.Len(uint(g.n)) - 1
+		for d := 0; d < dims; d++ {
+			mask := 1 << d
+			g.haloExchange(func(r int) []int {
+				p := r ^ mask
+				if p < g.n && p != r {
+					return []int{p}
+				}
+				return nil
+			}, int32(10+d), func(r, nbr int) int64 { return bytes })
+		}
+		g.collectiveAll(trace.OpAllreduce, 0, 8)
+		g.collectiveAll(trace.OpAllreduce, 0, 8)
+	}
+	return nil
+}
+
+// genMG models NPB MG: V-cycles over 4 grid levels; each level does a
+// 6-face halo whose payload shrinks 4× per level, with one allreduce
+// per cycle (the norm).
+func genMG(g *gen) error {
+	grid := newGrid3(g.n)
+	base := g.subgridFaceBytes(128, 1)
+	for it := 0; it < g.iters; it++ {
+		for level := 0; level < 4; level++ {
+			g.computeAll(g.strongCompute(ms(1.8)).Scale(1/float64(int(1)<<(2*level))), 0.02)
+			sz := base >> (2 * level)
+			if sz < 64 {
+				sz = 64
+			}
+			g.haloExchange(grid.faceNeighbors, int32(20+level), func(r, nbr int) int64 { return sz })
+		}
+		g.collectiveAll(trace.OpAllreduce, 0, 8)
+	}
+	return nil
+}
+
+// genFT models NPB FT: each iteration transposes the pencil
+// decomposition with one global all-to-all of the full volume, plus an
+// occasional checksum allreduce. Strongly communication-bound at scale.
+func genFT(g *gen) error {
+	cells := 190.0 * 190 * 190 * g.scale
+	perPair := int64(cells * 16 / float64(g.n) / float64(g.n))
+	if perPair < 64 {
+		perPair = 64
+	}
+	for it := 0; it < g.iters; it++ {
+		g.computeAll(g.strongCompute(ms(32)), 0.02)
+		g.collectiveAll(trace.OpAlltoall, 0, perPair)
+		g.computeAll(g.strongCompute(ms(14)), 0.02)
+		g.collectiveAll(trace.OpAllreduce, 0, 16)
+	}
+	return nil
+}
+
+// genIS models NPB IS: bucket sort — per iteration an allreduce on
+// bucket counts, an alltoallv with uneven buckets (±40%), and a small
+// local sort. Communication dominates.
+func genIS(g *gen) error {
+	cells := 2.0 * 1024 * 1024 * g.scale // keys, class B = 2^21-ish
+	perPair := cells * 4 / float64(g.n) / float64(g.n)
+	for it := 0; it < g.iters; it++ {
+		g.computeAll(g.strongCompute(ms(2.5)), 0.05)
+		g.collectiveAll(trace.OpAllreduce, 0, int64(4*g.n))
+		for r := 0; r < g.n; r++ {
+			sb := make([]int64, g.n)
+			for d := 0; d < g.n; d++ {
+				if d == r {
+					continue
+				}
+				f := 0.6 + 0.8*g.rng.Float64()
+				sb[d] = int64(perPair * f)
+				if sb[d] < 32 {
+					sb[d] = 32
+				}
+			}
+			g.b.Alltoallv(r, trace.CommWorld, sb)
+		}
+		g.computeAll(g.strongCompute(ms(0.3)), 0.05)
+	}
+	return nil
+}
+
+// genLU models NPB LU: SSOR wavefront sweeps over a 2-D process grid —
+// long chains of small blocking messages (latency-sensitive) followed
+// by a norm allreduce.
+func genLU(g *gen) error {
+	grid := newGrid2(g.n)
+	bytes := g.subgridFaceBytes(102, 1) / 8
+	if bytes < 400 {
+		bytes = 400
+	}
+	slice := g.strongCompute(ms(2.8)).Scale(0.25)
+	for it := 0; it < g.iters; it++ {
+		// Lower-triangular sweep: receive from west/north, compute,
+		// send to east/south; then the mirrored upper sweep.
+		for pass := 0; pass < 2; pass++ {
+			dx, dy := 1, 1
+			if pass == 1 {
+				dx, dy = -1, -1
+			}
+			for r := 0; r < g.n; r++ {
+				if w := grid.neighbor(r, -dx, 0); w >= 0 {
+					g.b.Recv(r, int32(w), int32(40+pass), bytes, trace.CommWorld)
+				}
+				if nn := grid.neighbor(r, 0, -dy); nn >= 0 {
+					g.b.Recv(r, int32(nn), int32(42+pass), bytes, trace.CommWorld)
+				}
+				g.compute(r, slice, 0.02)
+				if e := grid.neighbor(r, dx, 0); e >= 0 {
+					g.b.Send(r, int32(e), int32(40+pass), bytes, trace.CommWorld)
+				}
+				if s := grid.neighbor(r, 0, dy); s >= 0 {
+					g.b.Send(r, int32(s), int32(42+pass), bytes, trace.CommWorld)
+				}
+			}
+		}
+		g.collectiveAll(trace.OpAllreduce, 0, 40)
+	}
+	return nil
+}
+
+// genBT models NPB BT: per iteration, three directional face-exchange
+// phases on a 3-D grid with substantial compute between them.
+func genBT(g *gen) error {
+	grid := newGrid3(g.n)
+	bytes := g.subgridFaceBytes(102, 3)
+	dirs := [3][2][3]int{
+		{{1, 0, 0}, {-1, 0, 0}},
+		{{0, 1, 0}, {0, -1, 0}},
+		{{0, 0, 1}, {0, 0, -1}},
+	}
+	for it := 0; it < g.iters; it++ {
+		for d := 0; d < 3; d++ {
+			g.computeAll(g.strongCompute(ms(4.2)), 0.02)
+			dd := dirs[d]
+			g.haloExchange(func(r int) []int {
+				var out []int
+				seen := map[int]bool{}
+				for _, v := range dd {
+					if nr := grid.neighbor(r, v[0], v[1], v[2]); nr >= 0 && !seen[nr] {
+						seen[nr] = true
+						out = append(out, nr)
+					}
+				}
+				return out
+			}, int32(50+d), func(r, nbr int) int64 { return bytes })
+		}
+		g.collectiveAll(trace.OpAllreduce, 0, 40)
+	}
+	return nil
+}
+
+// genEP models NPB EP: pure computation with a final three-way scalar
+// reduction. The canonical computation-bound case.
+func genEP(g *gen) error {
+	g.computeAll(g.strongCompute(ms(420)), 0.01)
+	for i := 0; i < 3; i++ {
+		g.collectiveAll(trace.OpAllreduce, 0, 16)
+	}
+	return nil
+}
+
+// genDT models NPB DT (data traffic): a source→middle→sink reduction
+// graph shipping sizeable blobs with almost no compute.
+func genDT(g *gen) error {
+	n := g.n
+	blob := int64(12<<10) * int64(g.scale*10) / 10
+	if blob < 4096 {
+		blob = 4096
+	}
+	third := max(n/3, 1)
+	// Sources 0..third-1 send to middles third..2*third-1 (wrapped),
+	// middles forward to sinks.
+	for s := 0; s < third; s++ {
+		m := third + s%third
+		g.compute(s, us(500), 0.1)
+		g.b.Send(s, int32(m), 60, blob, trace.CommWorld)
+	}
+	for s := 0; s < third; s++ {
+		m := third + s%third
+		g.b.Recv(m, int32(s), 60, blob, trace.CommWorld)
+		g.compute(m, us(300), 0.1)
+	}
+	if sinks := n - 2*third; sinks > 0 {
+		for m := third; m < 2*third; m++ {
+			k := 2*third + (m-third)%sinks
+			g.b.Send(m, int32(k), 61, blob, trace.CommWorld)
+			g.b.Recv(k, int32(m), 61, blob, trace.CommWorld)
+			g.compute(k, us(200), 0.1)
+		}
+	}
+	return nil
+}
