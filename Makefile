@@ -1,18 +1,30 @@
 GO ?= go
 
-.PHONY: all build test race bench study figures clean
+.PHONY: all check build test vet test-race race bench study figures clean
 
-all: build test
+all: check
+
+# check is the default gate: build, vet, full test suite, and the
+# race-detector pass over the concurrency-bearing packages.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./internal/des/ ./internal/mfact/ ./internal/simnet/
+# test-race covers the packages with real goroutine concurrency: the
+# parallel DES engines, the network models driven by them, and the
+# campaign worker pool.
+test-race:
+	$(GO) test -race ./internal/des/... ./internal/simnet/... ./internal/core/...
+
+race: test-race
+	$(GO) test -race ./internal/mfact/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

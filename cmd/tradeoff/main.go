@@ -9,6 +9,15 @@
 //	tradeoff -stride 8 -maxranks 256  # quick reduced study
 //	tradeoff -save results.json       # persist results for cmd/predictor
 //	tradeoff -load results.json       # re-render from saved results
+//
+// Campaign robustness (see internal/core's campaign runner):
+//
+//	tradeoff -keep-going              # isolate failing traces, render the rest
+//	tradeoff -timeout 5m -max-events 2e9
+//	                                  # budget each trace; runaways fail, not hang
+//	tradeoff -checkpoint run.jsonl    # journal each completed trace
+//	tradeoff -checkpoint run.jsonl -resume
+//	                                  # re-execute only missing/failed traces
 package main
 
 import (
@@ -28,11 +37,22 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel trace workers")
 	minWall := flag.Duration("minwall", 20*time.Millisecond,
 		"Figure 1 drops traces whose slowest simulation is below this (the paper drops sub-second runs)")
-	save := flag.String("save", "", "save results JSON to this path")
+	save := flag.String("save", "", "save results JSON to this path (written atomically)")
 	load := flag.String("load", "", "load results JSON instead of running the suite")
 	figDir := flag.String("figdir", "", "write the figures as SVG files into this directory")
 	quiet := flag.Bool("q", false, "suppress per-trace progress")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per trace (0 = unlimited)")
+	maxEvents := flag.Uint64("max-events", 0, "DES event budget per simulation (0 = unlimited)")
+	keepGoing := flag.Bool("keep-going", false, "continue past failing traces and render from the survivors")
+	retries := flag.Int("retries", 0, "retry transiently failing traces up to N times")
+	checkpoint := flag.String("checkpoint", "", "append completed traces to this JSONL journal")
+	resume := flag.Bool("resume", false, "skip traces already in -checkpoint; rerun only missing/failed ones")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "tradeoff: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	var rs []*core.TraceResult
 	var err error
@@ -45,7 +65,6 @@ func main() {
 	} else {
 		suite := workload.SuiteSmall(*stride, *maxRanks)
 		fmt.Printf("running %d traces with %d workers...\n", len(suite), *workers)
-		start := time.Now()
 		progress := func(done, total int, r *core.TraceResult) {
 			if *quiet || r == nil {
 				return
@@ -53,16 +72,40 @@ func main() {
 			fmt.Printf("[%3d/%3d] %-36s measured=%-12v model=%v\n",
 				done, total, r.ID, r.Measured, r.ModelWall.Round(time.Microsecond))
 		}
-		rs, err = core.RunSuite(suite, *workers, progress)
+		var rep *core.CampaignReport
+		rs, rep, err = core.RunCampaign(suite, core.CampaignConfig{
+			Workers:        *workers,
+			Policy:         core.FailurePolicy{KeepGoing: *keepGoing, MaxRetries: *retries},
+			Run:            core.RunOptions{Timeout: *timeout, MaxEvents: *maxEvents},
+			CheckpointPath: *checkpoint,
+			Resume:         *resume,
+			Progress:       progress,
+		})
+		if rep != nil {
+			fmt.Printf("%s\n\n", rep.Summary())
+			for _, te := range rep.Errors {
+				fmt.Fprintf(os.Stderr, "tradeoff: failed: %v\n", te)
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Second))
+		if rep.Succeeded+rep.Skipped == 0 {
+			fmt.Fprintln(os.Stderr, "tradeoff: no trace survived; nothing to render")
+			os.Exit(1)
+		}
 	}
 
 	if *save != "" {
-		if err := core.SaveResultsFile(*save, rs); err != nil {
+		// Persist only completed traces; failed entries are nil.
+		saved := make([]*core.TraceResult, 0, len(rs))
+		for _, r := range rs {
+			if r != nil {
+				saved = append(saved, r)
+			}
+		}
+		if err := core.SaveResultsFile(*save, saved); err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/workload"
+)
+
+// The paper's experiment is a long campaign: MFACT plus three
+// simulations over 235 traces. This file makes that campaign
+// fault-tolerant: one bad trace (a panic in the replayer, a livelocked
+// simulation, a malformed generator output) is isolated, classified,
+// optionally retried, and reported — it no longer destroys the other
+// 234 results. Completed traces stream to an append-only checkpoint so
+// a killed campaign resumes where it left off.
+
+// ErrorKind classifies why a trace failed, separating "this trace is
+// broken" (invalid-input, deadlock) from "this trace is a runaway"
+// (budget) from "the runner is broken" (panic).
+type ErrorKind string
+
+// The failure classes a campaign distinguishes.
+const (
+	// KindPanic marks a recovered panic in the modeling or simulation
+	// stack.
+	KindPanic ErrorKind = "panic"
+	// KindBudget marks a run that exceeded its event, simulated-time,
+	// or wall-clock budget.
+	KindBudget ErrorKind = "budget"
+	// KindCanceled marks a run stopped by external cancellation.
+	KindCanceled ErrorKind = "canceled"
+	// KindDeadlock marks a replay whose ranks got permanently stuck.
+	KindDeadlock ErrorKind = "deadlock"
+	// KindInvalidInput marks a malformed trace or manifest entry.
+	KindInvalidInput ErrorKind = "invalid-input"
+	// KindUnknown is everything else.
+	KindUnknown ErrorKind = "unknown"
+)
+
+// Transient reports whether a failure of this kind might succeed on a
+// retry with a fresh seed. Budget, deadlock, and invalid-input
+// failures are deterministic properties of the trace; panics and
+// unclassified errors may be environmental.
+func (k ErrorKind) Transient() bool { return k == KindPanic || k == KindUnknown }
+
+// Classify maps a trace-run error to its ErrorKind.
+func Classify(err error) ErrorKind {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, des.ErrBudgetExceeded):
+		return KindBudget
+	case errors.Is(err, des.ErrCanceled):
+		return KindCanceled
+	case errors.Is(err, mpisim.ErrDeadlock):
+		return KindDeadlock
+	case errors.Is(err, mpisim.ErrUnknownRequest), errors.Is(err, trace.ErrInvalid):
+		return KindInvalidInput
+	}
+	return KindUnknown
+}
+
+// TraceError is the structured record of one trace's failure.
+type TraceError struct {
+	// ID is the manifest key of the failing trace (CampaignKey of its
+	// params — the trace itself may never have materialized).
+	ID   string
+	Kind ErrorKind
+	Err  error
+	// Stack is the recovered goroutine stack; set for panics only.
+	Stack string
+	// Attempts is how many times the trace was tried (1 + retries).
+	Attempts int
+}
+
+// Error implements error.
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("trace %s [%s, %d attempt(s)]: %v", e.ID, e.Kind, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TraceError) Unwrap() error { return e.Err }
+
+// FailurePolicy decides how a campaign reacts to failing traces.
+type FailurePolicy struct {
+	// KeepGoing collects per-trace errors and returns partial results
+	// instead of aborting the campaign on the first failure.
+	KeepGoing bool
+	// MaxRetries re-runs a trace whose failure kind is Transient up to
+	// this many extra times, each with a fresh deterministic seed.
+	MaxRetries int
+	// Backoff is the first retry's delay; it doubles per attempt and is
+	// capped. Zero means defaultBackoff.
+	Backoff time.Duration
+}
+
+const (
+	defaultBackoff = 100 * time.Millisecond
+	maxBackoff     = 5 * time.Second
+	// retrySeedStep offsets the seed on each retry so a transient
+	// failure gets a genuinely different run while staying reproducible.
+	retrySeedStep = 1_000_003
+)
+
+// CampaignConfig configures RunCampaign. The zero value runs the
+// historical fail-fast suite on all cores with no limits.
+type CampaignConfig struct {
+	// Workers is the worker-pool size (≤0 = all cores).
+	Workers int
+	// Policy is the failure policy.
+	Policy FailurePolicy
+	// Run bounds each individual trace run.
+	Run RunOptions
+	// CheckpointPath, when set, streams each completed TraceResult to
+	// an append-only JSONL journal at this path.
+	CheckpointPath string
+	// Resume skips traces whose results are already in the checkpoint
+	// journal; only never-run and previously failed traces re-execute.
+	Resume bool
+	// Progress, if non-nil, is called after each trace completes or is
+	// restored from the checkpoint (r is nil for failed traces).
+	Progress func(done, total int, r *TraceResult)
+	// Runner overrides how one trace executes — the campaign's fault
+	// injection seam for tests. Nil means RunOneOpts.
+	Runner func(p workload.Params, ro RunOptions) (*TraceResult, error)
+}
+
+// CampaignReport summarizes a campaign for the operator.
+type CampaignReport struct {
+	Total     int
+	Succeeded int
+	Failed    int
+	// Skipped counts traces restored from the checkpoint on resume.
+	Skipped int
+	// Retried counts extra attempts across all traces (including
+	// retries that eventually succeeded).
+	Retried int
+	// Errors holds one TraceError per failed trace, in manifest order.
+	Errors []*TraceError
+	Wall   time.Duration
+}
+
+// Err joins every per-trace failure into one error, or nil if all
+// traces succeeded.
+func (r *CampaignReport) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	joined := make([]error, len(r.Errors))
+	for i, e := range r.Errors {
+		joined[i] = e
+	}
+	return fmt.Errorf("core: %d of %d traces failed: %w", r.Failed, r.Total, errors.Join(joined...))
+}
+
+// Summary is a one-line operator summary.
+func (r *CampaignReport) Summary() string {
+	return fmt.Sprintf("campaign: %d traces: %d succeeded, %d failed, %d resumed from checkpoint, %d retries, in %v",
+		r.Total, r.Succeeded, r.Failed, r.Skipped, r.Retried, r.Wall.Round(time.Millisecond))
+}
+
+// RunCampaign runs the manifest under the given fault-tolerance
+// configuration. The returned slice is aligned with ps: failed traces
+// leave a nil entry (the experiment builders tolerate and count them).
+// The error is non-nil only for infrastructure failures (checkpoint
+// I/O, bad config) or, in fail-fast mode, the joined per-trace errors;
+// a keep-going campaign reports trace failures via the report alone.
+func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *CampaignReport, error) {
+	start := time.Now()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	runner := cfg.Runner
+	if runner == nil {
+		runner = RunOneOpts
+	}
+
+	rep := &CampaignReport{Total: len(ps)}
+	results := make([]*TraceResult, len(ps))
+	traceErrs := make([]*TraceError, len(ps))
+
+	done := map[string]*TraceResult{}
+	if cfg.Resume {
+		if cfg.CheckpointPath == "" {
+			return nil, nil, fmt.Errorf("core: resume requested without a checkpoint path")
+		}
+		var err error
+		done, err = LoadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: resuming campaign: %w", err)
+		}
+	}
+
+	var pending []int
+	completed := 0
+	for i, p := range ps {
+		if r, ok := done[CampaignKey(p)]; ok {
+			results[i] = r
+			rep.Skipped++
+			completed++
+			if cfg.Progress != nil {
+				cfg.Progress(completed, len(ps), r)
+			}
+		} else {
+			pending = append(pending, i)
+		}
+	}
+
+	var ckpt *Checkpoint
+	if cfg.CheckpointPath != "" {
+		var err error
+		ckpt, err = OpenCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: opening checkpoint: %w", err)
+		}
+		defer ckpt.Close()
+	}
+
+	var (
+		mu       sync.Mutex
+		stop     atomic.Bool // stops scheduling new traces (fail-fast, infra errors)
+		retries  atomic.Int64
+		infraErr error
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, terr := runWithRetry(ps[i], cfg.Policy, cfg.Run, runner, &retries)
+				if terr == nil && ckpt != nil {
+					if err := ckpt.Append(CampaignKey(ps[i]), r); err != nil {
+						// Losing the journal is an infrastructure failure,
+						// not a trace failure: stop the campaign.
+						mu.Lock()
+						if infraErr == nil {
+							infraErr = fmt.Errorf("core: checkpointing %s: %w", CampaignKey(ps[i]), err)
+						}
+						mu.Unlock()
+						stop.Store(true)
+					}
+				}
+				mu.Lock()
+				results[i], traceErrs[i] = r, terr
+				completed++
+				if cfg.Progress != nil {
+					cfg.Progress(completed, len(ps), r)
+				}
+				mu.Unlock()
+				if terr != nil && !cfg.Policy.KeepGoing {
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	for _, i := range pending {
+		if stop.Load() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.Retried = int(retries.Load())
+	for _, te := range traceErrs {
+		if te != nil {
+			rep.Failed++
+			rep.Errors = append(rep.Errors, te)
+		}
+	}
+	for _, r := range results {
+		if r != nil {
+			rep.Succeeded++
+		}
+	}
+	rep.Succeeded -= rep.Skipped
+	rep.Wall = time.Since(start)
+
+	if infraErr != nil {
+		return results, rep, infraErr
+	}
+	if !cfg.Policy.KeepGoing {
+		if err := rep.Err(); err != nil {
+			return results, rep, err
+		}
+	}
+	return results, rep, nil
+}
+
+// runWithRetry executes one trace, isolating panics and retrying
+// transient failures with capped exponential backoff and a fresh seed.
+func runWithRetry(p workload.Params, policy FailurePolicy, ro RunOptions,
+	runner func(workload.Params, RunOptions) (*TraceResult, error), retries *atomic.Int64) (*TraceResult, *TraceError) {
+	key := CampaignKey(p)
+	backoff := policy.Backoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		q := p
+		if attempt > 0 {
+			q.Seed = p.Seed + int64(attempt)*retrySeedStep
+		}
+		r, terr := runIsolated(q, ro, runner)
+		if terr == nil {
+			return r, nil
+		}
+		terr.ID = key
+		terr.Attempts = attempt + 1
+		if !terr.Kind.Transient() || attempt >= policy.MaxRetries {
+			return nil, terr
+		}
+		retries.Add(1)
+		d := backoff << attempt
+		if d > maxBackoff || d <= 0 {
+			d = maxBackoff
+		}
+		time.Sleep(d)
+	}
+}
+
+// runIsolated invokes the runner with panic isolation: a panic
+// anywhere in the modeling or simulation stack becomes a classified
+// TraceError carrying the goroutine stack, instead of killing the
+// campaign process.
+func runIsolated(p workload.Params, ro RunOptions,
+	runner func(workload.Params, RunOptions) (*TraceResult, error)) (r *TraceResult, terr *TraceError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r = nil
+			terr = &TraceError{
+				Kind:  KindPanic,
+				Err:   fmt.Errorf("panic: %v", rec),
+				Stack: string(debug.Stack()),
+			}
+		}
+	}()
+	res, err := runner(p, ro)
+	if err != nil {
+		return nil, &TraceError{Kind: Classify(err), Err: err}
+	}
+	return res, nil
+}

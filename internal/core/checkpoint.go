@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"hpctradeoff/internal/workload"
+)
+
+// The campaign checkpoint is an append-only JSONL journal: one
+// self-contained line per completed trace. Appending a line is the
+// only write, so a crash at any instant leaves at worst one truncated
+// final line, which the loader tolerates. The final results JSON is
+// still written separately (atomically) by SaveResultsFile; the
+// journal exists so a killed campaign restarts where it left off.
+
+// checkpointEntry is one journal line.
+type checkpointEntry struct {
+	Version int          `json:"version"`
+	Key     string       `json:"key"`
+	Result  *TraceResult `json:"result"`
+}
+
+const checkpointVersion = 1
+
+// CampaignKey identifies a manifest entry across campaign runs. It
+// covers every Params field that changes the generated trace, so a
+// resumed campaign never mistakes one configuration's result for
+// another's. (The key is computed from the manifest params, not the
+// result: a retried trace runs with a derived seed but is journaled
+// under its manifest identity.)
+func CampaignKey(p workload.Params) string {
+	return fmt.Sprintf("%s.%s.x%d.%s.n%d.s%d.i%d",
+		p.App, p.Class, p.Ranks, p.Machine, p.RanksPerNode, p.Seed, p.Iters)
+}
+
+// Checkpoint appends completed trace results to a JSONL journal. It is
+// safe for concurrent use by the campaign workers.
+type Checkpoint struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// OpenCheckpoint opens (creating if needed) the journal at path for
+// appending.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// Append journals one completed trace under its manifest key and
+// syncs, so the record survives a kill immediately after.
+func (c *Checkpoint) Append(key string, r *TraceResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(checkpointEntry{Version: checkpointVersion, Key: key, Result: r}); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+// Close closes the journal file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}
+
+// LoadCheckpoint reads a journal into a key→result map. A missing file
+// is an empty journal (a fresh campaign may pass -resume). Corrupt or
+// truncated lines — the signature of a crash mid-append — and entries
+// from other journal versions are skipped, not fatal: the campaign
+// simply re-runs those traces. A key appearing twice keeps the latest
+// entry.
+func LoadCheckpoint(path string) (map[string]*TraceResult, error) {
+	out := map[string]*TraceResult{}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		if e.Version != checkpointVersion || e.Key == "" || e.Result == nil {
+			continue
+		}
+		out[e.Key] = e.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
+	}
+	return out, nil
+}

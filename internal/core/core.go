@@ -7,11 +7,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
+	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/features"
 	"hpctradeoff/internal/machine"
 	"hpctradeoff/internal/mfact"
@@ -119,9 +119,30 @@ func (tr *TraceResult) Group() Group {
 // network-insensitive applications.
 const imbalanceGroupWait = 0.08
 
+// RunOptions bound a single trace run; the zero value imposes no
+// limits (the historical behavior).
+type RunOptions struct {
+	// Timeout is a wall-clock budget for the whole trace — ground-truth
+	// materialization plus every replay. Exceeding it fails the trace
+	// with an error wrapping des.ErrBudgetExceeded.
+	Timeout time.Duration
+	// MaxEvents caps the DES events of each individual simulation
+	// (ground truth and prediction replays alike).
+	MaxEvents uint64
+}
+
 // RunOne materializes the trace for p and runs all four schemes on it.
 func RunOne(p workload.Params) (*TraceResult, error) {
-	t, err := workload.Materialize(p)
+	return RunOneOpts(p, RunOptions{})
+}
+
+// RunOneOpts is RunOne with per-trace budget limits.
+func RunOneOpts(p workload.Params, ro RunOptions) (*TraceResult, error) {
+	var deadline time.Time
+	if ro.Timeout > 0 {
+		deadline = time.Now().Add(ro.Timeout)
+	}
+	t, err := workload.MaterializeBudget(p, deadline, ro.MaxEvents)
 	if err != nil {
 		return nil, err
 	}
@@ -129,11 +150,15 @@ func RunOne(p workload.Params) (*TraceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RunOnTrace(t, mach, p)
+	return runOnTrace(t, mach, p, deadline, ro.MaxEvents)
 }
 
 // RunOnTrace runs the four schemes on an already-materialized trace.
 func RunOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params) (*TraceResult, error) {
+	return runOnTrace(t, mach, p, time.Time{}, 0)
+}
+
+func runOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params, deadline time.Time, maxEvents uint64) (*TraceResult, error) {
 	res := &TraceResult{
 		Params:       p,
 		ID:           t.Meta.ID(),
@@ -154,8 +179,14 @@ func RunOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params) (*Trace
 
 	for _, m := range simnet.Models() {
 		start := time.Now()
-		sim, err := mpisim.Replay(t, m, mach, simnet.Config{}, mpisim.Options{})
+		sim, err := mpisim.Replay(t, m, mach, simnet.Config{}, mpisim.Options{Deadline: deadline, MaxEvents: maxEvents})
 		if err != nil {
+			// A blown budget means the trace is a runaway: fail the whole
+			// trace so the campaign can classify and report it. Capability
+			// gaps and deadlocks stay per-backend outcomes.
+			if errors.Is(err, des.ErrBudgetExceeded) || errors.Is(err, des.ErrCanceled) {
+				return nil, fmt.Errorf("core: simulating %s: %w", res.ID, err)
+			}
 			res.Sims[m] = SimOutcome{OK: false, Err: err.Error(), Wall: time.Since(start)}
 			continue
 		}
@@ -174,45 +205,13 @@ func RunOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params) (*Trace
 
 // RunSuite runs the given manifest with a worker pool (both tools use
 // all cores on the study machine). progress, if non-nil, is called
-// after each trace completes.
+// after each trace completes. RunSuite is the fail-fast front end of
+// RunCampaign: any trace failure aborts the suite, with every failing
+// trace aggregated (errors.Join) into the returned error.
 func RunSuite(ps []workload.Params, workers int, progress func(done, total int, r *TraceResult)) ([]*TraceResult, error) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	rs, _, err := RunCampaign(ps, CampaignConfig{Workers: workers, Progress: progress})
+	if err != nil {
+		return nil, err
 	}
-	results := make([]*TraceResult, len(ps))
-	errs := make([]error, len(ps))
-	var mu sync.Mutex
-	done := 0
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				r, err := RunOne(ps[i])
-				results[i], errs[i] = r, err
-				mu.Lock()
-				done++
-				if progress != nil {
-					progress(done, len(ps), r)
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for i := range ps {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: trace %s.%s.x%d.%s: %w",
-				ps[i].App, ps[i].Class, ps[i].Ranks, ps[i].Machine, err)
-		}
-	}
-	return results, nil
+	return rs, nil
 }

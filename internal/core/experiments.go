@@ -15,6 +15,41 @@ import (
 // This file regenerates the paper's tables and figures from a slice of
 // TraceResults. Each ExperimentX function returns structured data with
 // a Render method producing the text artifact.
+//
+// Every builder tolerates partial result sets: a keep-going campaign
+// leaves nil entries for failed traces, which the builders drop and
+// count, and the renders annotate with an exclusion note so a table
+// built from 233 of 235 traces says so.
+
+// live drops nil entries (failed traces in a keep-going campaign) and
+// reports how many were excluded.
+func live(rs []*TraceResult) ([]*TraceResult, int) {
+	excluded := 0
+	for _, r := range rs {
+		if r == nil {
+			excluded++
+		}
+	}
+	if excluded == 0 {
+		return rs, 0
+	}
+	out := make([]*TraceResult, 0, len(rs)-excluded)
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, excluded
+}
+
+// exclusionNote renders the partial-result annotation, or "" when the
+// set is complete.
+func exclusionNote(excluded int) string {
+	if excluded == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  [%d failed traces excluded]", excluded)
+}
 
 // ---------------------------------------------------------------- T1
 
@@ -23,6 +58,8 @@ type Table1 struct {
 	RankBuckets []BucketCount
 	CommBuckets []BucketCount
 	Total       int
+	// Excluded counts failed traces dropped from a partial result set.
+	Excluded int
 }
 
 // BucketCount is one histogram row.
@@ -34,7 +71,8 @@ type BucketCount struct {
 // BuildTable1 computes the rank-count and communication-intensity
 // distributions.
 func BuildTable1(rs []*TraceResult) Table1 {
-	t := Table1{Total: len(rs)}
+	rs, excluded := live(rs)
+	t := Table1{Total: len(rs), Excluded: excluded}
 	rankLabels := []string{"64", "65-128", "129-256", "257-512", "513-1024", "1025-1728"}
 	rankCounts := make([]int, len(rankLabels))
 	for _, r := range rs {
@@ -94,6 +132,9 @@ func (t Table1) Render() string {
 	}
 	rows = append(rows, []string{"Total", fmt.Sprint(t.Total)})
 	out += "\nTable I(b): communication time (%)\n" + metrics.Table([]string{"Comm. time (%)", "Traces"}, rows)
+	if t.Excluded > 0 {
+		out += "\n" + exclusionNote(t.Excluded)
+	}
 	return out
 }
 
@@ -109,6 +150,7 @@ type Table2Row struct {
 // BuildTable2 extracts the execution times for the named traces
 // (the paper lists CMC(1024), LULESH(512), MiniFE(1152)).
 func BuildTable2(rs []*TraceResult, want map[string]int) []Table2Row {
+	rs, _ = live(rs)
 	var out []Table2Row
 	for _, r := range rs {
 		if n, ok := want[r.Params.App]; !ok || n != r.Params.Ranks {
@@ -153,16 +195,20 @@ type Figure1 struct {
 	FirstPlace map[string]float64
 	// Ratios holds the raw per-trace ratios per model.
 	Ratios map[simnet.Model][]float64
+	// Excluded counts failed traces dropped from a partial result set.
+	Excluded int
 }
 
 // BuildFigure1 computes the performance comparison. minWall drops
 // traces whose largest simulation wall time is below the threshold
 // (the paper drops sub-second simulations such as EP and DT).
 func BuildFigure1(rs []*TraceResult, minWall time.Duration) Figure1 {
+	rs, excluded := live(rs)
 	f := Figure1{
 		Buckets:    make(map[simnet.Model][]float64),
 		FirstPlace: make(map[string]float64),
 		Ratios:     make(map[simnet.Model][]float64),
+		Excluded:   excluded,
 	}
 	firsts := make(map[string]int)
 	for _, r := range rs {
@@ -212,7 +258,8 @@ func maxDur(a, b time.Duration) time.Duration {
 // Render formats Figure 1.
 func (f Figure1) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 1: simulation time as multiples of MFACT's modeling time (%d traces)\n", f.Used)
+	fmt.Fprintf(&b, "Figure 1: simulation time as multiples of MFACT's modeling time (%d traces)%s\n",
+		f.Used, exclusionNote(f.Excluded))
 	var rows [][]string
 	for _, m := range simnet.Models() {
 		bk := f.Buckets[m]
@@ -231,14 +278,18 @@ func (f Figure1) Render() string {
 type Figure2 struct {
 	CommDiff  map[simnet.Model]metrics.CDF
 	TotalDiff map[simnet.Model]metrics.CDF
+	// Excluded counts failed traces dropped from a partial result set.
+	Excluded int
 }
 
 // BuildFigure2 computes |sim/model − 1| CDFs over all traces each
 // backend completed.
 func BuildFigure2(rs []*TraceResult) Figure2 {
+	rs, excluded := live(rs)
 	f := Figure2{
 		CommDiff:  make(map[simnet.Model]metrics.CDF),
 		TotalDiff: make(map[simnet.Model]metrics.CDF),
+		Excluded:  excluded,
 	}
 	for _, m := range simnet.Models() {
 		var comm, total []float64
@@ -261,7 +312,7 @@ func (f Figure2) Render() string {
 	var b strings.Builder
 	probes := []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.40}
 	fmtPct := func(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
-	b.WriteString("Figure 2(a): |estimated communication time vs MFACT|\n")
+	b.WriteString("Figure 2(a): |estimated communication time vs MFACT|" + exclusionNote(f.Excluded) + "\n")
 	for _, m := range simnet.Models() {
 		b.WriteString(metrics.CDFSeries("  "+string(m), f.CommDiff[m], probes, fmtPct))
 	}
@@ -290,6 +341,7 @@ type AppAccuracy struct {
 // BuildAppAccuracy aggregates per-application accuracy for the given
 // app names (NAS for Figure 3, DOE for Figure 4).
 func BuildAppAccuracy(rs []*TraceResult, apps []string) []AppAccuracy {
+	rs, _ = live(rs)
 	byApp := make(map[string]*AppAccuracy)
 	sums := make(map[string][2]float64)
 	for _, r := range rs {
@@ -358,10 +410,13 @@ func RenderAppAccuracy(title string, rows []AppAccuracy) string {
 type Figure5 struct {
 	Groups map[Group]metrics.CDF
 	Counts map[Group]int
+	// Excluded counts failed traces dropped from a partial result set.
+	Excluded int
 }
 
 // BuildFigure5 computes the per-group DIFF distributions.
 func BuildFigure5(rs []*TraceResult) Figure5 {
+	rs, excluded := live(rs)
 	vals := make(map[Group][]float64)
 	counts := make(map[Group]int)
 	for _, r := range rs {
@@ -371,7 +426,7 @@ func BuildFigure5(rs []*TraceResult) Figure5 {
 			vals[g] = append(vals[g], d)
 		}
 	}
-	f := Figure5{Groups: make(map[Group]metrics.CDF), Counts: counts}
+	f := Figure5{Groups: make(map[Group]metrics.CDF), Counts: counts, Excluded: excluded}
 	for g, v := range vals {
 		f.Groups[g] = metrics.NewCDF(v)
 	}
@@ -381,7 +436,7 @@ func BuildFigure5(rs []*TraceResult) Figure5 {
 // Render formats Figure 5.
 func (f Figure5) Render() string {
 	var b strings.Builder
-	b.WriteString("Figure 5: |DIFFtotal| by application group (packet-flow vs MFACT)\n")
+	b.WriteString("Figure 5: |DIFFtotal| by application group (packet-flow vs MFACT)" + exclusionNote(f.Excluded) + "\n")
 	for _, g := range []Group{GroupComputation, GroupImbalance, GroupCommSensitive} {
 		c := f.Groups[g]
 		fmt.Fprintf(&b, "  %-25s n=%-3d  ≤1%%: %5.1f%%  ≤2%%: %5.1f%%  ≤10%%: %5.1f%%  max: %s\n",
@@ -406,6 +461,7 @@ type PredictionStudy struct {
 // MFACT, as the paper uses) and trains the enhanced-MFACT model with
 // the paper's protocol (100 MC-CV runs, ≤5 variables).
 func BuildPredictionStudy(rs []*TraceResult, runs, maxVars int, seed int64) (*PredictionStudy, error) {
+	rs, _ = live(rs)
 	var obs []classifier.Observation
 	clIdx := features.Index("CLncs")
 	for _, r := range rs {

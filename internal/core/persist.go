@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Results files let the §V study (cmd/tradeoff) and the §VI study
@@ -36,17 +37,32 @@ func LoadResults(r io.Reader) ([]*TraceResult, error) {
 	return f.Results, nil
 }
 
-// SaveResultsFile writes results to path.
-func SaveResultsFile(path string, rs []*TraceResult) error {
-	f, err := os.Create(path)
+// SaveResultsFile writes results to path atomically: the JSON goes to
+// a temp file in the same directory, is synced, and is renamed over
+// path, so a crash mid-write can never corrupt an existing results
+// file (the expensive artifact of a multi-hour campaign).
+func SaveResultsFile(path string, rs []*TraceResult) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := SaveResults(f, rs); err != nil {
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = SaveResults(tmp, rs); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // LoadResultsFile reads results from path.

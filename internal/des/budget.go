@@ -1,0 +1,44 @@
+package des
+
+import (
+	"errors"
+	"time"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// ErrBudgetExceeded is returned (wrapped) by an engine whose run was
+// cut short because a Budget limit — event count, simulated time, or
+// wall-clock deadline — was reached. A campaign treats it as "this
+// trace is a runaway", not "the runner is broken".
+var ErrBudgetExceeded = errors.New("des: budget exceeded")
+
+// ErrCanceled is returned (wrapped) by an engine stopped through Stop
+// before its event queue drained.
+var ErrCanceled = errors.New("des: run canceled")
+
+// Budget bounds a simulation run. Zero values mean "unlimited"; the
+// zero Budget imposes no limits at all. Limits are cooperative: they
+// are checked on event-scheduling boundaries, so a run may overshoot
+// by the events already in flight (at most one per logical process).
+type Budget struct {
+	// MaxEvents caps the number of events executed (summed over all
+	// logical processes for a parallel engine).
+	MaxEvents uint64
+	// MaxTime caps the simulated clock: no event with a timestamp past
+	// it is executed.
+	MaxTime simtime.Time
+	// Deadline is a wall-clock cutoff. It is polled every
+	// deadlineCheckInterval events to keep time.Now off the hot path,
+	// so enforcement granularity is that many events.
+	Deadline time.Time
+}
+
+// limited reports whether any bound is set.
+func (b Budget) limited() bool {
+	return b.MaxEvents > 0 || b.MaxTime > 0 || !b.Deadline.IsZero()
+}
+
+// deadlineCheckInterval throttles wall-clock reads on the event loop;
+// it must be a power of two (used as a mask).
+const deadlineCheckInterval = 2048

@@ -8,6 +8,9 @@ package des
 
 import (
 	"container/heap"
+	"fmt"
+	"sync/atomic"
+	"time"
 
 	"hpctradeoff/internal/simtime"
 )
@@ -22,6 +25,11 @@ type Engine struct {
 	queue eventHeap
 	seq   uint64
 	steps uint64
+
+	budget  Budget
+	limited bool
+	stopReq atomic.Bool
+	err     error
 }
 
 type schedEvent struct {
@@ -74,10 +82,29 @@ func (e *Engine) At(t simtime.Time, fn func()) {
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d simtime.Time, fn func()) { e.At(e.now+d, fn) }
 
-// Run executes events until the queue is empty and returns the final
-// simulation time.
+// SetBudget bounds the run. It may be called before Run or between
+// RunUntil slices; a zero Budget removes all limits.
+func (e *Engine) SetBudget(b Budget) {
+	e.budget = b
+	e.limited = b.limited()
+}
+
+// Stop requests cooperative cancellation: the engine finishes the
+// event in flight and returns from Run with Err() wrapping
+// ErrCanceled. Stop is the one Engine method safe to call from another
+// goroutine (a wall-clock watchdog, a signal handler).
+func (e *Engine) Stop() { e.stopReq.Store(true) }
+
+// Err reports why the last Run (or RunUntil) stopped early: an error
+// wrapping ErrBudgetExceeded or ErrCanceled, or nil if the queue
+// drained normally.
+func (e *Engine) Err() error { return e.err }
+
+// Run executes events until the queue is empty — or until the budget
+// is exhausted or Stop is called, in which case Err reports the typed
+// reason — and returns the final simulation time.
 func (e *Engine) Run() simtime.Time {
-	for len(e.queue) > 0 {
+	for len(e.queue) > 0 && !e.halted() {
 		e.step()
 	}
 	return e.now
@@ -85,16 +112,43 @@ func (e *Engine) Run() simtime.Time {
 
 // RunUntil executes events with timestamps ≤ limit and then sets the
 // clock to limit (if it has not already passed it). It returns the
-// number of events executed.
+// number of events executed. Budget and Stop apply as in Run.
 func (e *Engine) RunUntil(limit simtime.Time) uint64 {
 	start := e.steps
-	for len(e.queue) > 0 && e.queue[0].at <= limit {
+	for len(e.queue) > 0 && e.queue[0].at <= limit && !e.halted() {
 		e.step()
 	}
-	if e.now < limit {
+	if e.now < limit && e.err == nil {
 		e.now = limit
 	}
 	return e.steps - start
+}
+
+// halted checks the stop flag and the budget, recording the typed
+// error on the first limit hit. Once halted, the engine stays halted.
+func (e *Engine) halted() bool {
+	if e.err != nil {
+		return true
+	}
+	if e.stopReq.Load() {
+		e.err = fmt.Errorf("%w after %d events at t=%v", ErrCanceled, e.steps, e.now)
+		return true
+	}
+	if !e.limited {
+		return false
+	}
+	b := e.budget
+	switch {
+	case b.MaxEvents > 0 && e.steps >= b.MaxEvents:
+		e.err = fmt.Errorf("%w: %d events executed (cap %d)", ErrBudgetExceeded, e.steps, b.MaxEvents)
+	case b.MaxTime > 0 && e.queue[0].at > b.MaxTime:
+		e.err = fmt.Errorf("%w: next event at %v is past the simulated-time cap %v", ErrBudgetExceeded, e.queue[0].at, b.MaxTime)
+	case !b.Deadline.IsZero() && e.steps&(deadlineCheckInterval-1) == 0 && time.Now().After(b.Deadline):
+		e.err = fmt.Errorf("%w: wall-clock deadline passed after %d events", ErrBudgetExceeded, e.steps)
+	default:
+		return false
+	}
+	return true
 }
 
 func (e *Engine) step() {

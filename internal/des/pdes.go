@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hpctradeoff/internal/simtime"
 )
@@ -55,6 +56,13 @@ type Parallel struct {
 	// be created, and every LP can stop.
 	outstanding atomic.Int64
 	quiescent   atomic.Bool
+
+	budget    Budget
+	limited   bool
+	execCount atomic.Uint64
+	haltClaim atomic.Bool  // first-wins claim on recording the stop reason
+	stopped   atomic.Bool  // the flag LPs poll; set after stopErr is stored
+	stopErr   atomic.Value // error: why the run was halted early
 }
 
 // NewParallel creates an engine with numLPs logical processes and the
@@ -142,6 +150,48 @@ func (p *Parallel) Run() simtime.Time {
 // Steps returns the total number of events executed across all LPs
 // (valid after Run returns).
 func (p *Parallel) Steps() uint64 { return p.totalSteps }
+
+// SetBudget bounds the run. It must be called before Run.
+func (p *Parallel) SetBudget(b Budget) {
+	if p.started {
+		panic("des: SetBudget after Run")
+	}
+	p.budget = b
+	p.limited = b.limited()
+}
+
+// Stop requests cooperative cancellation from any goroutine. Every LP
+// stops at its next scheduling boundary, the usual shutdown handshake
+// drains in-flight messages, and Run returns with Err() wrapping
+// ErrCanceled.
+func (p *Parallel) Stop() { p.halt(ErrCanceled) }
+
+// Err reports why Run stopped early: an error wrapping
+// ErrBudgetExceeded or ErrCanceled, or nil for normal quiescence.
+func (p *Parallel) Err() error {
+	if v := p.stopErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// halt records the first stop reason and wakes LPs blocked on empty
+// inboxes. The sends are best-effort and non-blocking: a full inbox
+// means the LP has input to absorb and will observe the stop flag at
+// its next loop boundary anyway.
+func (p *Parallel) halt(err error) {
+	if !p.haltClaim.CompareAndSwap(false, true) {
+		return
+	}
+	p.stopErr.Store(err)
+	p.stopped.Store(true)
+	for _, l := range p.lps {
+		select {
+		case l.inbox <- pmsg{to: wakeupMsg}:
+		default:
+		}
+	}
+}
 
 // NullMessages returns the total number of null (synchronization-only)
 // messages exchanged, a cost metric for the CMB protocol (valid after
@@ -335,22 +385,47 @@ func (l *lp) broadcast(at simtime.Time, final bool) {
 	}
 }
 
+// budgetOK charges one event about to execute at time 'at' against the
+// engine budget, halting the whole engine on the first limit hit.
+func (l *lp) budgetOK(at simtime.Time) bool {
+	eng := l.engine
+	b := eng.budget
+	if b.MaxTime > 0 && at > b.MaxTime {
+		eng.halt(fmt.Errorf("%w: event at %v is past the simulated-time cap %v", ErrBudgetExceeded, at, b.MaxTime))
+		return false
+	}
+	n := eng.execCount.Add(1)
+	if b.MaxEvents > 0 && n > b.MaxEvents {
+		eng.halt(fmt.Errorf("%w: %d events executed (cap %d)", ErrBudgetExceeded, n, b.MaxEvents))
+		return false
+	}
+	if !b.Deadline.IsZero() && n&(deadlineCheckInterval-1) == 1 && time.Now().After(b.Deadline) {
+		eng.halt(fmt.Errorf("%w: wall-clock deadline passed after %d events", ErrBudgetExceeded, n))
+		return false
+	}
+	return true
+}
+
 func (l *lp) run() {
-	single := len(l.engine.lps) == 1
-	for !l.engine.quiescent.Load() {
+	eng := l.engine
+	single := len(eng.lps) == 1
+	for !eng.quiescent.Load() && !eng.stopped.Load() {
 		// Execute everything both locally ready and provably safe.
 		for len(l.queue) > 0 && l.queue[0].at <= l.safe() {
+			if eng.stopped.Load() || (eng.limited && !l.budgetOK(l.queue[0].at)) {
+				break
+			}
 			ev := heap.Pop(&l.queue).(schedPMsg)
 			l.now = ev.at
 			l.lastExec = ev.at
 			l.steps++
-			l.engine.actors[ev.to].Handle(ev.at, ev.data, l)
+			eng.actors[ev.to].Handle(ev.at, ev.data, l)
 			l.retire()
-			if l.engine.quiescent.Load() {
+			if eng.quiescent.Load() {
 				break
 			}
 		}
-		if l.engine.quiescent.Load() || single {
+		if eng.quiescent.Load() || eng.stopped.Load() || single {
 			break
 		}
 		// Blocked: publish our guarantee, then wait for input.

@@ -57,11 +57,19 @@ func lower(tr *trace.Trace) (*program, error) {
 			case trace.OpIrecv:
 				lw.emit(rank, rop{kind: ropIrecv, peer: e.Peer, tag: e.Tag, comm: int32(e.Comm), bytes: e.Bytes, req: lw.fresh(rank, e.Req), ev: ev})
 			case trace.OpWait:
-				lw.emit(rank, rop{kind: ropWait, reqs: []int32{lw.lookup(rank, e.Req)}, ev: ev})
+				id, err := lw.lookup(rank, i, e.Req)
+				if err != nil {
+					return nil, err
+				}
+				lw.emit(rank, rop{kind: ropWait, reqs: []int32{id}, ev: ev})
 			case trace.OpWaitall:
 				reqs := make([]int32, len(e.Reqs))
 				for j, r := range e.Reqs {
-					reqs[j] = lw.lookup(rank, r)
+					id, err := lw.lookup(rank, i, r)
+					if err != nil {
+						return nil, err
+					}
+					reqs[j] = id
 				}
 				lw.emit(rank, rop{kind: ropWait, reqs: reqs, ev: ev})
 			default:
@@ -99,14 +107,18 @@ func (lw *lowerer) synth(rank int) int32 {
 	return id
 }
 
-func (lw *lowerer) lookup(rank int, orig int32) int32 {
+// lookup resolves a trace request id to its renumbered replay id.
+// Validated traces never miss, but Replay accepts unvalidated traces,
+// so a miss is reported as a diagnosable malformed-trace error (in the
+// style of the deadlock report) rather than a panic.
+func (lw *lowerer) lookup(rank, event int, orig int32) (int32, error) {
 	id, ok := lw.reqMap[rank][orig]
 	if !ok {
-		// Validation guarantees this cannot happen.
-		panic(fmt.Sprintf("mpisim: rank %d: wait on unknown request %d", rank, orig))
+		return 0, fmt.Errorf("%w: rank %d event %d waits on request %d, which was never posted or was already completed",
+			ErrUnknownRequest, rank, event, orig)
 	}
 	delete(lw.reqMap[rank], orig)
-	return id
+	return id, nil
 }
 
 type vKey struct {

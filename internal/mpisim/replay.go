@@ -1,7 +1,9 @@
 package mpisim
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/machine"
@@ -9,6 +11,15 @@ import (
 	"hpctradeoff/internal/simtime"
 	"hpctradeoff/internal/trace"
 )
+
+// ErrDeadlock is wrapped by replay errors reporting that ranks got
+// permanently stuck (unmatched sends/receives, circular waits).
+var ErrDeadlock = errors.New("mpisim: deadlock")
+
+// ErrUnknownRequest is wrapped by lowering errors reporting a wait on
+// a request id that was never posted by an isend/irecv — a malformed
+// trace rather than a simulator failure.
+var ErrUnknownRequest = errors.New("mpisim: wait on unknown request")
 
 // Perturber injects nondeterministic-looking (but seeded) system
 // effects into a replay. The ground-truth executor uses one to make the
@@ -55,6 +66,18 @@ type Options struct {
 	// Background, when non-nil, injects neighbor-job traffic that
 	// contends for the same network links.
 	Background *Background
+
+	// MaxEvents caps the number of DES events the replay may execute;
+	// past the cap Replay fails with an error wrapping
+	// des.ErrBudgetExceeded. Zero means unlimited. This is the campaign
+	// layer's defense against runaway or livelocked replays.
+	MaxEvents uint64
+	// MaxSimTime caps the simulated clock the same way. Zero means
+	// unlimited.
+	MaxSimTime simtime.Time
+	// Deadline is a wall-clock cutoff for the replay (zero value means
+	// none); it is polled periodically on the event loop.
+	Deadline time.Time
 }
 
 // Result carries the outcome of one replay.
@@ -102,7 +125,16 @@ func Replay(tr *trace.Trace, model simnet.Model, mach *machine.Config, netCfg si
 	if d.opts.CompScale == 0 {
 		d.opts.CompScale = 1
 	}
+	if opts.MaxEvents > 0 || opts.MaxSimTime > 0 || !opts.Deadline.IsZero() {
+		eng.SetBudget(des.Budget{MaxEvents: opts.MaxEvents, MaxTime: opts.MaxSimTime, Deadline: opts.Deadline})
+	}
 	d.run(prog)
+	// A blown budget must be reported before the finish check: a
+	// truncated run always looks deadlocked.
+	if err := eng.Err(); err != nil {
+		return nil, fmt.Errorf("mpisim: replay of %s on %s aborted after %d events: %w",
+			tr.Meta.ID(), model, eng.Steps(), err)
+	}
 	if err := d.checkFinished(); err != nil {
 		return nil, err
 	}
@@ -259,7 +291,7 @@ func (d *driver) checkFinished() error {
 			if rs.pc < len(rs.ops) {
 				op = fmt.Sprintf("%s(peer=%d tag=%d)", rs.ops[rs.pc].kind, rs.ops[rs.pc].peer, rs.ops[rs.pc].tag)
 			}
-			return fmt.Errorf("mpisim: deadlock: rank %d stuck at op %d/%d (%s)", rs.id, rs.pc, len(rs.ops), op)
+			return fmt.Errorf("%w: rank %d stuck at op %d/%d (%s)", ErrDeadlock, rs.id, rs.pc, len(rs.ops), op)
 		}
 	}
 	return nil

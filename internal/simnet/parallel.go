@@ -121,12 +121,24 @@ func (pp *ParallelPacket) Inject(at simtime.Time, src, dst int32, bytes int64) {
 }
 
 // Run executes the simulation to quiescence and returns the makespan
-// (latest delivery time).
+// (latest delivery time). When a budget or Stop cut the run short, Err
+// reports the typed reason and the makespan covers only the executed
+// prefix.
 func (pp *ParallelPacket) Run() simtime.Time {
 	pp.started = true
 	pp.par.Run()
 	return simtime.Time(pp.makespan.Load())
 }
+
+// SetBudget bounds the run (see des.Budget). Must be called before Run.
+func (pp *ParallelPacket) SetBudget(b des.Budget) { pp.par.SetBudget(b) }
+
+// Stop cooperatively cancels the run from any goroutine.
+func (pp *ParallelPacket) Stop() { pp.par.Stop() }
+
+// Err reports why Run stopped early (wrapping des.ErrBudgetExceeded or
+// des.ErrCanceled), or nil after a complete run.
+func (pp *ParallelPacket) Err() error { return pp.par.Err() }
 
 // Delivered returns the number of delivered messages (counting each
 // injected message once; multi-packet messages count per packet).

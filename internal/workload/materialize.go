@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"hpctradeoff/internal/machine"
 	"hpctradeoff/internal/mpisim"
@@ -16,7 +17,7 @@ func MaterializeSpec(s *Spec, p Params) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return stamp(tr, p)
+	return stamp(tr, p, time.Time{}, 0)
 }
 
 // Materialize generates the program for p and stamps "measured"
@@ -26,16 +27,25 @@ func MaterializeSpec(s *Spec, p Params) (*trace.Trace, error) {
 // real machine: its times embed contention and noise that prediction
 // replays do not reproduce.
 func Materialize(p Params) (*trace.Trace, error) {
+	return MaterializeBudget(p, time.Time{}, 0)
+}
+
+// MaterializeBudget is Materialize with a bound on the ground-truth
+// execution: deadline is a wall-clock cutoff and maxEvents caps the
+// DES events of the stamping replay (zero values mean unlimited). A
+// blown budget fails with an error wrapping des.ErrBudgetExceeded, so
+// a campaign can classify the trace as a runaway instead of hanging.
+func MaterializeBudget(p Params, deadline time.Time, maxEvents uint64) (*trace.Trace, error) {
 	tr, err := Generate(p)
 	if err != nil {
 		return nil, err
 	}
-	return stamp(tr, p)
+	return stamp(tr, p, deadline, maxEvents)
 }
 
 // stamp executes the program on its machine's detailed simulator with
 // noise and writes the measured timestamps into the trace.
-func stamp(tr *trace.Trace, p Params) (*trace.Trace, error) {
+func stamp(tr *trace.Trace, p Params, deadline time.Time, maxEvents uint64) (*trace.Trace, error) {
 	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
 	if err != nil {
 		return nil, err
@@ -46,8 +56,10 @@ func stamp(tr *trace.Trace, p Params) (*trace.Trace, error) {
 		tr.Meta.RanksPerNode = mach.RanksPerNode
 	}
 	_, err = mpisim.Replay(tr, simnet.PacketFlow, mach, simnet.Config{}, mpisim.Options{
-		Record:  true,
-		Perturb: mpisim.DefaultNoise(p.Seed, p.Ranks),
+		Record:    true,
+		Perturb:   mpisim.DefaultNoise(p.Seed, p.Ranks),
+		Deadline:  deadline,
+		MaxEvents: maxEvents,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("workload: ground-truth execution of %s: %w", tr.Meta.ID(), err)
