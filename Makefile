@@ -1,12 +1,15 @@
 GO ?= go
+DATE := $(shell date +%F)
 
-.PHONY: all check build test vet test-race race bench study figures clean
+.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds study figures clean
 
 all: check
 
-# check is the default gate: build, vet, full test suite, and the
-# race-detector pass over the concurrency-bearing packages.
-check: build vet test test-race
+# check is the default gate: build, vet, full test suite, the
+# race-detector pass over the concurrency-bearing packages, the fuzz
+# seed corpus, and a short benchmark smoke run (proving the harness
+# and every scenario still execute; numbers are not recorded).
+check: build vet test test-race fuzz-seeds bench-short
 
 build:
 	$(GO) build ./...
@@ -26,8 +29,36 @@ test-race:
 race: test-race
 	$(GO) test -race ./internal/mfact/
 
+# bench runs the pinned benchmark scenarios (cmd/bench) over the fixed
+# trace set and writes a dated BENCH_<date>.json snapshot. Pass
+# BASELINE=<file> to embed a comparison against a previous snapshot.
 bench:
+ifdef BASELINE
+	$(GO) run ./cmd/bench -out BENCH_$(DATE).json -baseline $(BASELINE)
+else
+	$(GO) run ./cmd/bench -out BENCH_$(DATE).json
+endif
+
+# bench-short is the smoke variant wired into `make check`: one short
+# measurement per scenario, results printed but not written.
+bench-short:
+	$(GO) run ./cmd/bench -short -out ""
+
+# microbench runs the in-package go test benchmarks (finer-grained
+# than cmd/bench's scenario snapshots).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz-seeds replays the committed fuzz corpora as ordinary tests
+# (plain `go test` already includes them; this target names them so a
+# corpus regression fails loudly on its own).
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/core/ ./internal/trace/
+
+# fuzz runs coverage-guided fuzzing on the checkpoint loader.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzCheckpointLoader -fuzztime=$(FUZZTIME) ./internal/core/
 
 # The full 235-trace study (Tables I-II, Figures 1-5, Table IV, rates).
 study:

@@ -1,0 +1,346 @@
+// Command bench runs the repository's fixed performance scenarios —
+// the DES event core, the three network models, the CMB-parallel
+// packet network, and full trace replays — and writes a JSON snapshot
+// (BENCH_<date>.json) so performance regressions become visible
+// PR-to-PR. Every scenario reports per-event costs (ns/event,
+// allocs/event) because the paper's cost model is "events executed":
+// the event loop is the hottest path of the whole study.
+//
+// Usage:
+//
+//	bench [-out FILE] [-baseline FILE] [-short]
+//
+// -out "" prints the snapshot to stdout only. -baseline loads an
+// earlier snapshot and prints per-scenario deltas (and embeds the
+// baseline entries in the new snapshot for provenance). -short runs
+// reduced workloads for CI gates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/workload"
+)
+
+// Entry is one scenario's measured costs.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// EventsPerOp is the number of DES events one op executes; it is
+	// deterministic for every scenario, which is what makes the
+	// per-event normalization below meaningful across engine rewrites.
+	EventsPerOp    float64 `json:"events_per_op"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// Snapshot is the on-disk benchmark record.
+type Snapshot struct {
+	Date         string  `json:"date"`
+	GoVersion    string  `json:"go_version"`
+	NumCPU       int     `json:"num_cpu"`
+	Short        bool    `json:"short,omitempty"`
+	Entries      []Entry `json:"entries"`
+	BaselineFile string  `json:"baseline_file,omitempty"`
+	// Baseline embeds the compared-against entries so the committed
+	// snapshot is self-contained evidence of the delta.
+	Baseline []Entry `json:"baseline,omitempty"`
+}
+
+// scenario is one named benchmark: body runs the workload once and
+// returns the number of DES events it executed.
+type scenario struct {
+	name string
+	body func(short bool) uint64
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{"des/chain", benchChain},
+		{"des/fanout", benchFanout},
+		{"des/phold-lps4", benchPHOLD},
+		{"simnet/packet-small", mkTraffic(simnet.Packet, 512, 1<<10)},
+		{"simnet/packet-large", mkTraffic(simnet.Packet, 64, 1<<20)},
+		{"simnet/packetflow-large", mkTraffic(simnet.PacketFlow, 64, 1<<20)},
+		{"simnet/flow-small", mkTraffic(simnet.Flow, 512, 1<<10)},
+		{"simnet/parallel-packet-lps4", benchParallelPacket},
+		{"mpisim/replay-packet", mkReplay(simnet.Packet)},
+		{"mpisim/replay-packetflow", mkReplay(simnet.PacketFlow)},
+	}
+}
+
+// benchChain drives a self-perpetuating event chain: the pure
+// schedule-dispatch cost of the sequential engine with a near-empty
+// queue.
+func benchChain(short bool) uint64 {
+	k := 200_000
+	if short {
+		k = 20_000
+	}
+	var e des.Engine
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < k {
+			e.After(simtime.Nanosecond, step)
+		}
+	}
+	e.After(0, step)
+	e.Run()
+	return e.Steps()
+}
+
+// benchFanout preloads a wide queue (many resident events) and drains
+// it: the heap's sift costs under depth.
+func benchFanout(short bool) uint64 {
+	k := 200_000
+	if short {
+		k = 20_000
+	}
+	var e des.Engine
+	f := func() {}
+	r := uint64(1)
+	for i := 0; i < k; i++ {
+		r = r*6364136223846793005 + 1442695040888963407 // deterministic LCG
+		e.At(simtime.Time(r%100_000), f)
+	}
+	e.Run()
+	return e.Steps()
+}
+
+// pholdActor bounces a hop counter between peers — the classic PDES
+// stress pattern for the CMB engine.
+type pholdActor struct {
+	id    int
+	peers []des.ActorID
+	la    simtime.Time
+}
+
+func (a *pholdActor) Handle(_ simtime.Time, msg any, s des.Scheduler) {
+	hops := msg.(int)
+	if hops <= 0 {
+		return
+	}
+	s.Schedule(a.peers[(a.id+1)%len(a.peers)], a.la, hops-1)
+}
+
+func benchPHOLD(short bool) uint64 {
+	hops := 2000
+	if short {
+		hops = 200
+	}
+	la := simtime.Microsecond
+	p, err := des.NewParallel(4, la)
+	if err != nil {
+		panic(err)
+	}
+	const actors = 16
+	as := make([]*pholdActor, actors)
+	ids := make([]des.ActorID, actors)
+	for i := range as {
+		as[i] = &pholdActor{id: i, la: la}
+		ids[i] = p.AddActor(as[i], i%4)
+	}
+	for _, a := range as {
+		a.peers = ids
+	}
+	for i := 0; i < actors; i++ {
+		p.ScheduleInitial(ids[i], 0, hops)
+	}
+	p.Run()
+	return p.Steps()
+}
+
+// mkTraffic returns a scenario body running a fixed permutation
+// traffic pattern through one sequential network model.
+func mkTraffic(m simnet.Model, msgs int, bytes int64) func(bool) uint64 {
+	return func(short bool) uint64 {
+		if short {
+			msgs = max(msgs/4, 8)
+		}
+		mach, err := machine.Edison(96, 24)
+		if err != nil {
+			panic(err)
+		}
+		var eng des.Engine
+		net, err := simnet.New(m, &eng, mach, simnet.Config{})
+		if err != nil {
+			panic(err)
+		}
+		delivered := 0
+		for k := 0; k < msgs; k++ {
+			src := int32(k % 96)
+			dst := int32((k*37 + 11) % 96)
+			if src == dst {
+				dst = (dst + 1) % 96
+			}
+			net.Send(src, dst, bytes, func() { delivered++ })
+		}
+		eng.Run()
+		if delivered != msgs {
+			panic(fmt.Sprintf("%s delivered %d of %d", m, delivered, msgs))
+		}
+		return eng.Steps()
+	}
+}
+
+func benchParallelPacket(short bool) uint64 {
+	bytes := int64(256 << 10)
+	if short {
+		bytes = 32 << 10
+	}
+	mach, err := machine.Hopper(96, 8)
+	if err != nil {
+		panic(err)
+	}
+	pp, err := simnet.NewParallelPacket(mach, simnet.Config{}, 4)
+	if err != nil {
+		panic(err)
+	}
+	for r := 0; r < 96; r++ {
+		d := (r*11 + 5) % 96
+		if d != r {
+			pp.Inject(0, int32(r), int32(d), bytes)
+		}
+	}
+	pp.Run()
+	return pp.Steps()
+}
+
+// replayTrace caches the materialized trace shared by the replay
+// scenarios (materialization itself is benchmarked elsewhere).
+var (
+	replayTr   *trace.Trace
+	replayMach *machine.Config
+)
+
+func mkReplay(m simnet.Model) func(bool) uint64 {
+	return func(short bool) uint64 {
+		if replayTr == nil {
+			app, class := "MiniFE", "A"
+			if short {
+				class = "S"
+			}
+			p := workload.Params{App: app, Class: class, Ranks: 64, Machine: "hopper", Seed: 7}
+			tr, err := workload.Materialize(p)
+			if err != nil {
+				panic(err)
+			}
+			mach, err := machine.New(p.Machine, p.Ranks, 0)
+			if err != nil {
+				panic(err)
+			}
+			replayTr, replayMach = tr, mach
+		}
+		res, err := mpisim.Replay(replayTr, m, replayMach, simnet.Config{}, mpisim.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return res.Events
+	}
+}
+
+func measure(sc scenario, short bool) Entry {
+	var events uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			events = sc.body(short)
+		}
+	})
+	e := Entry{
+		Name:        sc.name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+		BytesPerOp:  float64(r.MemBytes) / float64(r.N),
+		EventsPerOp: float64(events),
+	}
+	if events > 0 {
+		e.NsPerEvent = e.NsPerOp / float64(events)
+		e.AllocsPerEvent = e.AllocsPerOp / float64(events)
+		e.BytesPerEvent = e.BytesPerOp / float64(events)
+	}
+	return e
+}
+
+func main() {
+	out := flag.String("out", fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02")),
+		"snapshot output path (empty = stdout only)")
+	baselinePath := flag.String("baseline", "", "earlier snapshot to compare against and embed")
+	short := flag.Bool("short", false, "reduced workloads (CI gate mode)")
+	flag.Parse()
+
+	var baseline *Snapshot
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		baseline = &Snapshot{}
+		if err := json.Unmarshal(data, baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parsing baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	base := map[string]Entry{}
+	if baseline != nil {
+		for _, e := range baseline.Entries {
+			base[e.Name] = e
+		}
+	}
+
+	snap := Snapshot{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Short:     *short,
+	}
+	fmt.Printf("%-28s %14s %14s %14s\n", "scenario", "ns/event", "allocs/event", "B/event")
+	for _, sc := range scenarios() {
+		e := measure(sc, *short)
+		snap.Entries = append(snap.Entries, e)
+		line := fmt.Sprintf("%-28s %14.1f %14.4f %14.1f", e.Name, e.NsPerEvent, e.AllocsPerEvent, e.BytesPerEvent)
+		if b, ok := base[e.Name]; ok && b.AllocsPerEvent > 0 {
+			line += fmt.Sprintf("   allocs %+.1f%%, ns %+.1f%% vs baseline",
+				100*(e.AllocsPerEvent/b.AllocsPerEvent-1), 100*(e.NsPerEvent/b.NsPerEvent-1))
+		}
+		fmt.Println(line)
+	}
+	if baseline != nil {
+		snap.BaselineFile = *baselinePath
+		snap.Baseline = baseline.Entries
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -13,6 +13,7 @@ import (
 
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simtime"
 	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/workload"
 )
@@ -135,6 +136,90 @@ func TestCampaignKeepGoingAndResume(t *testing.T) {
 	}
 	if tbl := BuildTable1(rs2); tbl.Excluded != 0 {
 		t.Errorf("full resume still excludes %d traces", tbl.Excluded)
+	}
+}
+
+// causalityBugActor schedules into the past once its countdown
+// expires — the classic PDES causality bug, which the engine reports
+// by panicking inside the owning LP's goroutine.
+type causalityBugActor struct {
+	next des.ActorID
+	la   simtime.Time
+}
+
+func (a *causalityBugActor) Handle(now simtime.Time, msg any, s des.Scheduler) {
+	budget := msg.(int)
+	if budget <= 0 {
+		s.Schedule(a.next, -simtime.Microsecond, nil)
+		return
+	}
+	s.Schedule(a.next, a.la, budget-1)
+}
+
+// TestCampaignSurvivesCMBCausalityBug is the end-to-end proof of the
+// panic-isolation chain: a causality bug inside a CMB logical-process
+// goroutine (not the worker goroutine that called the runner) must
+// surface as a classified KindPanic TraceError carrying the LP's
+// stack, while the rest of the campaign completes normally. Before the
+// parallel engine captured and re-raised LP panics on the caller's
+// goroutine, this bug killed the whole process — no recover could
+// reach it.
+func TestCampaignSurvivesCMBCausalityBug(t *testing.T) {
+	good1 := workload.Params{App: "EP", Class: "S", Ranks: 16, Machine: "cielito", Seed: 1}
+	buggy := workload.Params{App: "MG", Class: "S", Ranks: 16, Machine: "edison", Seed: 2}
+	good2 := workload.Params{App: "IS", Class: "S", Ranks: 16, Machine: "edison", Seed: 3}
+	ps := []workload.Params{good1, buggy, good2}
+
+	runner := func(p workload.Params, ro RunOptions) (*TraceResult, error) {
+		if p.App != "MG" {
+			return RunOneOpts(p, ro)
+		}
+		// Drive a real 2-LP parallel engine whose actor commits a
+		// causality bug mid-run; the panic originates in an LP goroutine.
+		la := simtime.Microsecond
+		par, err := des.NewParallel(2, la)
+		if err != nil {
+			return nil, err
+		}
+		a0 := &causalityBugActor{la: la}
+		a1 := &causalityBugActor{la: la}
+		id0 := par.AddActor(a0, 0)
+		id1 := par.AddActor(a1, 1)
+		a0.next, a1.next = id1, id0
+		par.ScheduleInitial(id0, 0, 7)
+		par.Run() // panics with *des.LPPanic on this goroutine
+		return nil, fmt.Errorf("unreachable: causality bug did not fire")
+	}
+
+	rs, rep, err := RunCampaign(ps, CampaignConfig{
+		Workers: 2,
+		Policy:  FailurePolicy{KeepGoing: true},
+		Runner:  runner,
+	})
+	if err != nil {
+		t.Fatalf("keep-going campaign returned error: %v", err)
+	}
+	if rs[0] == nil || rs[2] == nil {
+		t.Fatalf("healthy traces did not survive the causality bug: %v, %v", rs[0], rs[2])
+	}
+	if rep.Succeeded != 2 || rep.Failed != 1 {
+		t.Fatalf("report %+v, want 2 succeeded / 1 failed", rep)
+	}
+	te := rep.Errors[0]
+	if te.ID != CampaignKey(buggy) {
+		t.Errorf("failure attributed to %q, want %q", te.ID, CampaignKey(buggy))
+	}
+	if te.Kind != KindPanic {
+		t.Errorf("causality bug classified as %q, want %q", te.Kind, KindPanic)
+	}
+	if !strings.Contains(te.Err.Error(), "negative delay") {
+		t.Errorf("error %v does not name the causality bug", te.Err)
+	}
+	if !strings.Contains(te.Err.Error(), "LP") {
+		t.Errorf("error %v does not attribute the bug to a logical process", te.Err)
+	}
+	if te.Stack == "" {
+		t.Error("panic TraceError carries no stack")
 	}
 }
 

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden campaign file instead of comparing")
+
+const goldenPath = "testdata/golden_campaign.txt"
+
+// goldenTolerance is the stated numeric drift bound: every number in
+// the rendered artifact must match the committed reference to within
+// this relative tolerance (or goldenAbsTol absolutely, for values near
+// zero). The simulation pipeline is deterministic, so the expected
+// drift is exactly zero — the tolerance exists to state explicitly how
+// much an intentional modeling change may move results before the
+// golden file must be consciously regenerated with -update.
+const (
+	goldenTolerance = 1e-3
+	goldenAbsTol    = 1e-9
+)
+
+// goldenManifest is a small fixed campaign: four cheap class-S traces
+// spanning stencil, transpose, and embarrassingly parallel codes on
+// all three machines. Seeds are pinned; everything downstream is
+// deterministic.
+func goldenManifest() []workload.Params {
+	return []workload.Params{
+		// RanksPerNode 4 spreads each job over 4 nodes so traffic
+		// actually crosses the network and the three backends diverge.
+		{App: "CG", Class: "S", Ranks: 16, Machine: "cielito", RanksPerNode: 4, Seed: 11},
+		{App: "FT", Class: "S", Ranks: 16, Machine: "hopper", RanksPerNode: 4, Seed: 22},
+		{App: "LULESH", Class: "S", Ranks: 16, Machine: "edison", RanksPerNode: 4, Seed: 33},
+		{App: "IS", Class: "S", Ranks: 16, Machine: "cielito", RanksPerNode: 4, Seed: 44},
+	}
+}
+
+// renderGoldenArtifact runs the golden campaign and renders every
+// deterministic quantity the study reports: per-trace measured and
+// predicted times with event counts, then the aggregate tables and
+// figures. Wall-clock-dependent artifacts (Table 2, Figure 1, the
+// per-backend Wall fields) are deliberately excluded — they vary
+// run to run and machine to machine.
+func renderGoldenArtifact(t *testing.T) string {
+	t.Helper()
+	ps := goldenManifest()
+	rs, rep, err := RunCampaign(ps, CampaignConfig{Workers: 2})
+	if err != nil {
+		t.Fatalf("golden campaign failed: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("golden campaign had %d failures: %v", rep.Failed, rep.Err())
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "golden campaign: %d traces\n\n", len(rs))
+	for _, r := range rs {
+		fmt.Fprintf(&b, "trace %s\n", r.ID)
+		fmt.Fprintf(&b, "  measured total=%v comm=%v events=%d commfrac=%.6f\n",
+			r.Measured, r.MeasuredComm, r.Events, r.CommFraction)
+		fmt.Fprintf(&b, "  model total=%v comm=%v class=%v events=%d\n",
+			r.Model.Total(), r.Model.Comm(), r.Model.Class, r.Model.Events)
+		models := make([]string, 0, len(r.Sims))
+		for m := range r.Sims {
+			models = append(models, string(m))
+		}
+		sort.Strings(models)
+		for _, m := range models {
+			s := r.Sims[simnet.Model(m)]
+			if !s.OK {
+				fmt.Fprintf(&b, "  sim %-12s unsupported\n", m)
+				continue
+			}
+			fmt.Fprintf(&b, "  sim %-12s total=%v comm=%v events=%d\n", m, s.Total, s.Comm, s.Events)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(BuildTable1(rs).Render())
+	b.WriteString("\n")
+	b.WriteString(BuildFigure2(rs).Render())
+	b.WriteString("\n")
+	b.WriteString(BuildFigure5(rs).Render())
+	b.WriteString("\n")
+	b.WriteString(RenderAppAccuracy("golden accuracy", BuildAppAccuracy(rs, []string{"CG", "FT", "LULESH", "IS"})))
+	return b.String()
+}
+
+var goldenNumRE = regexp.MustCompile(`-?\d+(?:\.\d+)?`)
+
+// splitNumbers separates a rendered artifact into its numeric tokens
+// and the non-numeric skeleton around them.
+func splitNumbers(s string) (skeleton string, nums []float64, err error) {
+	var b strings.Builder
+	last := 0
+	for _, loc := range goldenNumRE.FindAllStringIndex(s, -1) {
+		b.WriteString(s[last:loc[0]])
+		b.WriteString("#")
+		v, perr := strconv.ParseFloat(s[loc[0]:loc[1]], 64)
+		if perr != nil {
+			return "", nil, fmt.Errorf("unparseable number %q: %w", s[loc[0]:loc[1]], perr)
+		}
+		nums = append(nums, v)
+		last = loc[1]
+	}
+	b.WriteString(s[last:])
+	return b.String(), nums, nil
+}
+
+// TestGoldenCampaign locks the numeric output of the whole pipeline —
+// generators, ground-truth stamping, MFACT, and all three simulation
+// backends — to a committed reference. Any drift beyond the stated
+// tolerance fails; intentional modeling changes regenerate the file
+// with `go test ./internal/core -run TestGoldenCampaign -update`.
+func TestGoldenCampaign(t *testing.T) {
+	got := renderGoldenArtifact(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+
+	gotSkel, gotNums, err := splitNumbers(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSkel, wantNums, err := splitNumbers(string(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSkel != wantSkel {
+		// Line-level diff of the skeletons for a readable failure.
+		gl, wl := strings.Split(gotSkel, "\n"), strings.Split(wantSkel, "\n")
+		for i := 0; i < len(gl) || i < len(wl); i++ {
+			var g, w string
+			if i < len(gl) {
+				g = gl[i]
+			}
+			if i < len(wl) {
+				w = wl[i]
+			}
+			if g != w {
+				t.Fatalf("artifact structure changed at line %d:\n  got:  %q\n  want: %q\n(regenerate with -update if intentional)", i+1, g, w)
+			}
+		}
+		t.Fatal("artifact structure changed (regenerate with -update if intentional)")
+	}
+	if len(gotNums) != len(wantNums) {
+		t.Fatalf("artifact has %d numbers, golden has %d", len(gotNums), len(wantNums))
+	}
+	for i := range gotNums {
+		g, w := gotNums[i], wantNums[i]
+		diff := math.Abs(g - w)
+		if diff <= goldenAbsTol {
+			continue
+		}
+		if rel := diff / math.Max(math.Abs(w), goldenAbsTol); rel > goldenTolerance {
+			t.Errorf("number %d drifted: got %v, golden %v (rel %.2e > %.0e tolerance)",
+				i, g, w, rel, goldenTolerance)
+		}
+	}
+	if t.Failed() {
+		t.Log("numeric drift exceeds the stated tolerance; if the modeling change is intentional, regenerate with -update")
+	}
+}

@@ -7,7 +7,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -22,7 +21,7 @@ import (
 // The zero value is ready to use.
 type Engine struct {
 	now   simtime.Time
-	queue eventHeap
+	queue quadHeap[schedEvent]
 	seq   uint64
 	steps uint64
 
@@ -38,24 +37,13 @@ type schedEvent struct {
 	fn  func()
 }
 
-type eventHeap []schedEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (timestamp, scheduling sequence); seq is
+// unique, so the order is total — the determinism contract.
+func (e schedEvent) less(o schedEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(schedEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = schedEvent{}
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 // Now returns the current simulation time.
@@ -67,16 +55,18 @@ func (e *Engine) Now() simtime.Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of scheduled, not-yet-executed events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
-// (t < Now) panics: it indicates a causality bug in the model.
+// (t < Now) panics: it indicates a causality bug in the model. The
+// campaign layer's panic isolation converts such a panic into a
+// classified TraceError instead of killing the process.
 func (e *Engine) At(t simtime.Time, fn func()) {
 	if t < e.now {
-		panic("des: scheduling into the past")
+		panic(fmt.Sprintf("des: scheduling into the past (t=%v < now=%v)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, schedEvent{at: t, seq: e.seq, fn: fn})
+	e.queue.push(schedEvent{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -104,7 +94,7 @@ func (e *Engine) Err() error { return e.err }
 // is exhausted or Stop is called, in which case Err reports the typed
 // reason — and returns the final simulation time.
 func (e *Engine) Run() simtime.Time {
-	for len(e.queue) > 0 && !e.halted() {
+	for e.queue.len() > 0 && !e.halted() {
 		e.step()
 	}
 	return e.now
@@ -115,7 +105,7 @@ func (e *Engine) Run() simtime.Time {
 // number of events executed. Budget and Stop apply as in Run.
 func (e *Engine) RunUntil(limit simtime.Time) uint64 {
 	start := e.steps
-	for len(e.queue) > 0 && e.queue[0].at <= limit && !e.halted() {
+	for e.queue.len() > 0 && e.queue.min().at <= limit && !e.halted() {
 		e.step()
 	}
 	if e.now < limit && e.err == nil {
@@ -141,8 +131,8 @@ func (e *Engine) halted() bool {
 	switch {
 	case b.MaxEvents > 0 && e.steps >= b.MaxEvents:
 		e.err = fmt.Errorf("%w: %d events executed (cap %d)", ErrBudgetExceeded, e.steps, b.MaxEvents)
-	case b.MaxTime > 0 && e.queue[0].at > b.MaxTime:
-		e.err = fmt.Errorf("%w: next event at %v is past the simulated-time cap %v", ErrBudgetExceeded, e.queue[0].at, b.MaxTime)
+	case b.MaxTime > 0 && e.queue.min().at > b.MaxTime:
+		e.err = fmt.Errorf("%w: next event at %v is past the simulated-time cap %v", ErrBudgetExceeded, e.queue.min().at, b.MaxTime)
 	case !b.Deadline.IsZero() && e.steps&(deadlineCheckInterval-1) == 0 && time.Now().After(b.Deadline):
 		e.err = fmt.Errorf("%w: wall-clock deadline passed after %d events", ErrBudgetExceeded, e.steps)
 	default:
@@ -152,7 +142,7 @@ func (e *Engine) halted() bool {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.queue).(schedEvent)
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.steps++
 	ev.fn()

@@ -1,0 +1,106 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hpctradeoff/internal/simtime"
+)
+
+// TestQuadHeapPopsSortedOrder pushes a randomized workload (duplicate
+// timestamps included) and checks pops come out in exact (at, seq)
+// order — the determinism contract the engines document.
+func TestQuadHeapPopsSortedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h quadHeap[schedEvent]
+	var ref []schedEvent
+	var seq uint64
+	for round := 0; round < 50; round++ {
+		// Interleave pushes with pops to exercise sift-down on partially
+		// drained heaps, not just a single fill-then-drain pass.
+		for i := 0; i < 100; i++ {
+			seq++
+			ev := schedEvent{at: simtime.Time(rng.Intn(64)), seq: seq}
+			h.push(ev)
+			ref = append(ref, ev)
+		}
+		for i := 0; i < 30 && h.len() > 0; i++ {
+			got := h.pop()
+			want := popRef(&ref)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("round %d pop %d: got (at=%v seq=%d), want (at=%v seq=%d)",
+					round, i, got.at, got.seq, want.at, want.seq)
+			}
+		}
+	}
+	for h.len() > 0 {
+		got := h.pop()
+		want := popRef(&ref)
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain: got (at=%v seq=%d), want (at=%v seq=%d)", got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if len(ref) != 0 {
+		t.Fatalf("heap drained with %d reference events left", len(ref))
+	}
+}
+
+// popRef removes and returns the (at, seq)-minimum of the reference
+// slice — an O(n) oracle the heap must agree with.
+func popRef(ref *[]schedEvent) schedEvent {
+	s := *ref
+	m := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].less(s[m]) {
+			m = i
+		}
+	}
+	out := s[m]
+	s[m] = s[len(s)-1]
+	*ref = s[:len(s)-1]
+	return out
+}
+
+// TestQuadHeapMinMatchesPop checks min() previews exactly what pop()
+// returns next.
+func TestQuadHeapMinMatchesPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h quadHeap[schedEvent]
+	for i := 0; i < 500; i++ {
+		h.push(schedEvent{at: simtime.Time(rng.Intn(100)), seq: uint64(i)})
+	}
+	var prev schedEvent
+	for i := 0; h.len() > 0; i++ {
+		top := *h.min()
+		got := h.pop()
+		if got.at != top.at || got.seq != top.seq {
+			t.Fatalf("pop %d returned (at=%v seq=%d), min previewed (at=%v seq=%d)",
+				i, got.at, got.seq, top.at, top.seq)
+		}
+		if i > 0 && got.less(prev) {
+			t.Fatalf("pop %d out of order: (at=%v seq=%d) after (at=%v seq=%d)",
+				i, got.at, got.seq, prev.at, prev.seq)
+		}
+		prev = got
+	}
+}
+
+// TestEngineFIFOAmongTies schedules many callbacks at the same instant
+// and checks they run in scheduling order — the documented tie-break.
+func TestEngineFIFOAmongTies(t *testing.T) {
+	var e Engine
+	const n = 200
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(simtime.Microsecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	if len(order) != n {
+		t.Fatalf("ran %d callbacks, want %d", len(order), n)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-timestamp callbacks ran out of scheduling order: %v", order[:10])
+	}
+}

@@ -1,8 +1,8 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +63,29 @@ type Parallel struct {
 	haltClaim atomic.Bool  // first-wins claim on recording the stop reason
 	stopped   atomic.Bool  // the flag LPs poll; set after stopErr is stored
 	stopErr   atomic.Value // error: why the run was halted early
+
+	// panicClaim and lpPanic capture the first panic recovered in an LP
+	// goroutine; Run re-raises it on the caller's goroutine so an
+	// actor's causality bug (e.g. scheduling into the past) reaches the
+	// campaign layer's panic isolation instead of killing the process
+	// from an unrecoverable worker goroutine.
+	panicClaim atomic.Bool
+	lpPanic    *LPPanic
+}
+
+// LPPanic is the value Parallel.Run re-panics with after recovering a
+// panic inside a logical-process goroutine. It preserves the original
+// panic value and the panicking LP's stack so campaign-level recovery
+// can classify and report the causality bug.
+type LPPanic struct {
+	LP    int32
+	Value any
+	Stack []byte
+}
+
+// Error makes an LPPanic readable when printed by a recover site.
+func (p *LPPanic) Error() string {
+	return fmt.Sprintf("des: panic on LP %d: %v\n%s", p.LP, p.Value, p.Stack)
 }
 
 // NewParallel creates an engine with numLPs logical processes and the
@@ -113,7 +136,7 @@ func (p *Parallel) ScheduleInitial(to ActorID, at simtime.Time, msg any) {
 	l := p.lps[p.owner[to]]
 	p.outstanding.Add(1)
 	l.seq++
-	heap.Push(&l.queue, schedPMsg{at: at, seq: l.seq, to: to, data: msg})
+	l.queue.push(schedPMsg{at: at, from: l.index, seq: l.seq, to: to, data: msg})
 }
 
 // Run executes every scheduled event and returns the maximum timestamp
@@ -133,6 +156,17 @@ func (p *Parallel) Run() simtime.Time {
 		wg.Add(1)
 		go func(l *lp) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if p.panicClaim.CompareAndSwap(false, true) {
+						p.lpPanic = &LPPanic{LP: l.index, Value: rec, Stack: debug.Stack()}
+					}
+					p.halt(fmt.Errorf("des: LP %d panicked: %v", l.index, rec))
+					// Best-effort shutdown handshake so peers blocked on
+					// this LP's guarantees or inbox can still terminate.
+					l.shutdown()
+				}
+			}()
 			l.run()
 		}(l)
 	}
@@ -144,6 +178,9 @@ func (p *Parallel) Run() simtime.Time {
 		steps += l.steps
 	}
 	p.totalSteps = steps
+	if p.lpPanic != nil {
+		panic(p.lpPanic)
+	}
 	return maxT
 }
 
@@ -207,10 +244,12 @@ func (p *Parallel) NullMessages() uint64 {
 // pmsg is a cross-LP message: a real event (to ≥ 0), a null/done
 // guarantee (to == nullMsg), or a quiescence wakeup (to == wakeupMsg).
 // 'at' is the event time or the sender's guarantee that it will send
-// nothing earlier.
+// nothing earlier. seq is the sender's monotone scheduling counter; it
+// makes the receiver's tie-break deterministic (see schedPMsg.less).
 type pmsg struct {
 	from int32
 	at   simtime.Time
+	seq  uint64
 	to   ActorID
 	data any
 }
@@ -222,36 +261,32 @@ const (
 
 type schedPMsg struct {
 	at   simtime.Time
+	from int32
 	seq  uint64
 	to   ActorID
 	data any
 }
 
-type pmsgHeap []schedPMsg
-
-func (h pmsgHeap) Len() int { return len(h) }
-func (h pmsgHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders an LP's pending events by (timestamp, scheduling LP,
+// sender sequence). The sender stamps seq when it schedules, so the
+// order is independent of channel arrival timing — equal-timestamp
+// events from different LPs execute in the same order on every run,
+// which makes the CMB engine deterministic, not just correct.
+func (e schedPMsg) less(o schedPMsg) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h pmsgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pmsgHeap) Push(x any)   { *h = append(*h, x.(schedPMsg)) }
-func (h *pmsgHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = schedPMsg{}
-	*h = old[:n-1]
-	return ev
+	if e.from != o.from {
+		return e.from < o.from
+	}
+	return e.seq < o.seq
 }
 
 type lp struct {
 	engine *Parallel
 	index  int32
 	inbox  chan pmsg
-	queue  pmsgHeap
+	queue  quadHeap[schedPMsg]
 	seq    uint64
 
 	now      simtime.Time
@@ -259,9 +294,10 @@ type lp struct {
 	steps    uint64
 	nulls    uint64
 
-	inClock  []simtime.Time // per-sender guarantee
-	lastNull simtime.Time   // last guarantee we broadcast
-	doneFrom int            // peers that sent their final guarantee
+	inClock   []simtime.Time // per-sender guarantee
+	lastNull  simtime.Time   // last guarantee we broadcast
+	doneFrom  int            // peers that sent their final guarantee
+	finalSent bool           // final Forever guarantee already broadcast
 }
 
 func (l *lp) initClocks(numLPs int) {
@@ -287,14 +323,15 @@ func (l *lp) Schedule(to ActorID, delay simtime.Time, msg any) {
 	if target == l.index {
 		l.engine.outstanding.Add(1)
 		l.seq++
-		heap.Push(&l.queue, schedPMsg{at: at, seq: l.seq, to: to, data: msg})
+		l.queue.push(schedPMsg{at: at, from: l.index, seq: l.seq, to: to, data: msg})
 		return
 	}
 	if delay < l.engine.lookahead {
 		panic(fmt.Sprintf("des: cross-LP delay %v below lookahead %v", delay, l.engine.lookahead))
 	}
 	l.engine.outstanding.Add(1)
-	l.send(l.engine.lps[target], pmsg{from: l.index, at: at, to: to, data: msg})
+	l.seq++
+	l.send(l.engine.lps[target], pmsg{from: l.index, at: at, seq: l.seq, to: to, data: msg})
 }
 
 // retire marks one executed event and triggers global termination when
@@ -336,8 +373,7 @@ func (l *lp) absorb(m pmsg) {
 		if m.at > l.inClock[m.from] {
 			l.inClock[m.from] = m.at
 		}
-		l.seq++
-		heap.Push(&l.queue, schedPMsg{at: m.at, seq: l.seq, to: m.to, data: m.data})
+		l.queue.push(schedPMsg{at: m.at, from: m.from, seq: m.seq, to: m.to, data: m.data})
 	case m.to == nullMsg:
 		if m.at > l.inClock[m.from] {
 			l.inClock[m.from] = m.at
@@ -360,8 +396,8 @@ func (l *lp) safe() simtime.Time {
 // outgoing message.
 func (l *lp) guarantee() simtime.Time {
 	bound := l.safe()
-	if len(l.queue) > 0 {
-		bound = simtime.Min(bound, l.queue[0].at)
+	if l.queue.len() > 0 {
+		bound = simtime.Min(bound, l.queue.min().at)
 	}
 	bound = simtime.Max(bound, l.now)
 	g := bound + l.engine.lookahead
@@ -411,11 +447,11 @@ func (l *lp) run() {
 	single := len(eng.lps) == 1
 	for !eng.quiescent.Load() && !eng.stopped.Load() {
 		// Execute everything both locally ready and provably safe.
-		for len(l.queue) > 0 && l.queue[0].at <= l.safe() {
-			if eng.stopped.Load() || (eng.limited && !l.budgetOK(l.queue[0].at)) {
+		for l.queue.len() > 0 && l.queue.min().at <= l.safe() {
+			if eng.stopped.Load() || (eng.limited && !l.budgetOK(l.queue.min().at)) {
 				break
 			}
-			ev := heap.Pop(&l.queue).(schedPMsg)
+			ev := l.queue.pop()
 			l.now = ev.at
 			l.lastExec = ev.at
 			l.steps++
@@ -432,19 +468,31 @@ func (l *lp) run() {
 		l.broadcast(l.guarantee(), false)
 		l.absorb(<-l.inbox)
 	}
-	if !single {
+	l.shutdown()
+}
+
+// shutdown runs the termination handshake: broadcast a final Forever
+// guarantee, wait for every peer's final guarantee, then drain
+// stragglers so no peer is blocked sending to us. It is idempotent
+// enough to be re-entered by the panic-recovery path: the final
+// broadcast is suppressed if it was already sent.
+func (l *lp) shutdown() {
+	if len(l.engine.lps) == 1 {
+		return
+	}
+	if !l.finalSent {
+		l.finalSent = true
 		l.broadcast(simtime.Forever, true)
-		for l.doneFrom < len(l.engine.lps)-1 {
-			l.absorb(<-l.inbox)
-		}
-		// Drain stragglers so no peer is blocked sending to us.
-		for {
-			select {
-			case m := <-l.inbox:
-				l.absorb(m)
-			default:
-				return
-			}
+	}
+	for l.doneFrom < len(l.engine.lps)-1 {
+		l.absorb(<-l.inbox)
+	}
+	for {
+		select {
+		case m := <-l.inbox:
+			l.absorb(m)
+		default:
+			return
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package des
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -129,6 +131,143 @@ func TestParallelPholdInvariants(t *testing.T) {
 		if c != c1 || s != s1 {
 			t.Errorf("lps=%d: (count,sum) = (%d,%d), want (%d,%d)", lps, c, s, c1, s1)
 		}
+	}
+}
+
+// historyActor records a rolling hash of its own execution history
+// (time, payload). Each actor is owned by one LP, so the hash needs no
+// synchronization; comparing per-actor hashes across runs checks that
+// the engine executes the exact same event sequence every time.
+type historyActor struct {
+	id    int
+	peers []ActorID
+	la    simtime.Time
+	hash  uint64
+}
+
+func (a *historyActor) Handle(now simtime.Time, msg any, s Scheduler) {
+	budget := msg.(int)
+	a.hash = a.hash*0x100000001b3 ^ uint64(now)
+	a.hash = a.hash*0x100000001b3 ^ uint64(budget)
+	if budget <= 0 {
+		return
+	}
+	h := uint64(a.id*2654435761) ^ uint64(budget)*0x9e3779b97f4a7c15
+	next := a.peers[h%uint64(len(a.peers))]
+	// Coarse delay quantization forces frequent equal-timestamp events
+	// from different LPs, exercising the deterministic cross-LP
+	// tie-break rather than letting unique timestamps hide it.
+	delay := a.la + simtime.Time(h%4)*simtime.Microsecond
+	s.Schedule(next, delay, budget-1)
+}
+
+func runHistory(t *testing.T, lps int) []uint64 {
+	t.Helper()
+	const n = 12
+	la := simtime.Microsecond
+	p, err := NewParallel(lps, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]ActorID, n)
+	actors := make([]*historyActor, n)
+	for i := range actors {
+		actors[i] = &historyActor{id: i, la: la}
+		ids[i] = p.AddActor(actors[i], i%lps)
+	}
+	for _, a := range actors {
+		a.peers = ids
+	}
+	for i := 0; i < n; i++ {
+		p.ScheduleInitial(ids[i], 0, 150)
+	}
+	p.Run()
+	out := make([]uint64, n)
+	for i, a := range actors {
+		out[i] = a.hash
+	}
+	return out
+}
+
+// TestParallelRunToRunDeterminism runs an identical tie-heavy workload
+// repeatedly: at a fixed LP count, every actor must see the identical
+// event history on every run. This is the guarantee the (timestamp,
+// scheduling LP, sender sequence) tie-break buys: CMB output
+// independent of goroutine interleaving and channel arrival timing.
+// (Across different LP counts the tie order may legitimately differ —
+// the key includes the scheduling LP — which is why the contract is
+// per-configuration; TestParallelPholdInvariants covers the
+// permutation-invariant quantities across partitionings.)
+func TestParallelRunToRunDeterminism(t *testing.T) {
+	for _, lps := range []int{1, 2, 4} {
+		want := runHistory(t, lps)
+		for run := 0; run < 3; run++ {
+			got := runHistory(t, lps)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("lps=%d run %d: actor %d history hash %#x, want %#x",
+						lps, run, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// bombActor panics (by scheduling with negative delay — a causality
+// bug) when its countdown payload reaches zero; otherwise it forwards.
+type bombActor struct {
+	next ActorID
+	la   simtime.Time
+}
+
+func (a *bombActor) Handle(now simtime.Time, msg any, s Scheduler) {
+	budget := msg.(int)
+	if budget <= 0 {
+		s.Schedule(a.next, -simtime.Microsecond, nil) // boom
+		return
+	}
+	s.Schedule(a.next, a.la, budget-1)
+}
+
+// TestParallelLPPanicPropagates checks the panic-isolation contract:
+// a panic inside an LP goroutine must not kill the process from an
+// unrecoverable worker goroutine — Run re-raises it on the caller's
+// goroutine as *LPPanic (original value + LP + stack), after shutting
+// the other LPs down cleanly (the test returning at all proves no
+// deadlock; -race covers the handshake).
+func TestParallelLPPanicPropagates(t *testing.T) {
+	la := simtime.Microsecond
+	p, err := NewParallel(2, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := &bombActor{la: la}
+	a1 := &bombActor{la: la}
+	id0 := p.AddActor(a0, 0)
+	id1 := p.AddActor(a1, 1)
+	a0.next, a1.next = id1, id0
+	p.ScheduleInitial(id0, 0, 9) // bomb goes off on LP 1 (odd countdown)
+
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		p.Run()
+	}()
+	lpp, ok := rec.(*LPPanic)
+	if !ok {
+		t.Fatalf("Run recovered %T (%v), want *LPPanic", rec, rec)
+	}
+	if lpp.LP != 1 {
+		t.Errorf("panic attributed to LP %d, want 1", lpp.LP)
+	}
+	if !strings.Contains(fmt.Sprint(lpp.Value), "negative delay") {
+		t.Errorf("panic value %v does not mention the causality bug", lpp.Value)
+	}
+	if len(lpp.Stack) == 0 {
+		t.Error("LPPanic carries no stack")
+	}
+	if !strings.Contains(lpp.Error(), "LP 1") {
+		t.Errorf("Error() = %q lacks LP attribution", lpp.Error())
 	}
 }
 

@@ -26,6 +26,7 @@ type flowNet struct {
 
 	routes routeCache
 	flows  []*flow // active flows, compacted on completion
+	free   []*flow // completed flow objects recycled by Send
 	stats  Stats
 
 	// Per-link scratch state indexed by topology.LinkID, epoch-stamped
@@ -105,14 +106,23 @@ func (f *flowNet) Send(src, dst int32, bytes int64, onDelivered func()) {
 		f.eng.After(latency, onDelivered)
 		return
 	}
-	f.flows = append(f.flows, &flow{
-		path:      path,
-		remaining: float64(bytes),
-		updated:   f.eng.Now(),
-		tail:      latency,
-		onDone:    onDelivered,
-	})
+	fl := f.getFlow()
+	fl.path, fl.remaining, fl.rate = path, float64(bytes), 0
+	fl.updated, fl.tail, fl.onDone = f.eng.Now(), latency, onDelivered
+	f.flows = append(f.flows, fl)
 	f.requestRecompute()
+}
+
+// getFlow takes a flow object from the free-list or allocates one; a
+// steady message stream recycles its flow objects instead of leaving
+// one garbage struct per message.
+func (f *flowNet) getFlow() *flow {
+	if n := len(f.free); n > 0 {
+		fl := f.free[n-1]
+		f.free = f.free[:n-1]
+		return fl
+	}
+	return &flow{}
 }
 
 // requestRecompute schedules one recompute within the coalescing
@@ -145,6 +155,8 @@ func (f *flowNet) recompute() {
 		fl.updated = now
 		if fl.remaining <= 0.5 { // sub-byte residue is numeric noise
 			f.eng.After(fl.tail, fl.onDone)
+			fl.path, fl.onDone = nil, nil
+			f.free = append(f.free, fl)
 		} else {
 			live = append(live, fl)
 		}

@@ -34,6 +34,13 @@ type packetNet struct {
 
 	routes routeCache
 	stats  Stats
+
+	// free is the packet free-list. A packet object (with its bound hop
+	// callback) is recycled when its last hop completes, so a steady
+	// packet stream allocates nothing per packet after warm-up — the
+	// packet scheme's event rate is the study's highest, which made
+	// per-packet garbage the process's dominant allocation source.
+	free []*packet
 }
 
 func newPacketNet(eng *des.Engine, mach *machine.Config, cfg Config, multiplex bool) *packetNet {
@@ -82,6 +89,13 @@ func (p *packetNet) Send(src, dst int32, bytes int64, onDelivered func()) {
 	remaining := nPackets
 	last := bytes - int64(nPackets-1)*p.cfg.PacketBytes
 	start := p.eng.Now() + p.mach.NICLatency
+	// One completion closure per message, shared by its packets.
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			p.eng.After(p.mach.NICLatency, onDelivered)
+		}
+	}
 	for i := 0; i < nPackets; i++ {
 		size := p.cfg.PacketBytes
 		if i == nPackets-1 {
@@ -91,14 +105,9 @@ func (p *packetNet) Send(src, dst int32, bytes int64, onDelivered func()) {
 			size = 1
 		}
 		p.stats.Packets++
-		pk := &packet{net: p, path: path, size: size}
-		pk.onDone = func() {
-			remaining--
-			if remaining == 0 {
-				p.eng.After(p.mach.NICLatency, onDelivered)
-			}
-		}
-		p.eng.At(start, pk.hop)
+		pk := p.getPacket()
+		pk.path, pk.size, pk.onDone = path, size, done
+		p.eng.At(start, pk.hopFn)
 	}
 }
 
@@ -109,6 +118,28 @@ type packet struct {
 	size   int64
 	hopIdx int
 	onDone func()
+	// hopFn is the hop method bound once at allocation; scheduling it
+	// repeatedly costs nothing, where scheduling pk.hop directly would
+	// allocate a fresh method value on every hop.
+	hopFn func()
+}
+
+// getPacket takes a packet from the free-list or allocates one.
+func (p *packetNet) getPacket() *packet {
+	if n := len(p.free); n > 0 {
+		pk := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pk
+	}
+	pk := &packet{net: p}
+	pk.hopFn = pk.hop
+	return pk
+}
+
+// putPacket recycles a completed packet.
+func (p *packetNet) putPacket(pk *packet) {
+	pk.path, pk.onDone, pk.size, pk.hopIdx = nil, nil, 0, 0
+	p.free = append(p.free, pk)
 }
 
 // hop processes the packet's arrival at its current link and schedules
@@ -116,7 +147,9 @@ type packet struct {
 func (pk *packet) hop() {
 	n := pk.net
 	if pk.hopIdx >= len(pk.path) {
-		pk.onDone()
+		done := pk.onDone
+		n.putPacket(pk)
+		done()
 		return
 	}
 	link := pk.path[pk.hopIdx]
@@ -141,7 +174,7 @@ func (pk *packet) hop() {
 		departure = begin + simtime.TransferTime(pk.size, bw)
 		n.busyUntil[link] = departure
 	}
-	n.eng.At(departure+n.mach.LinkLatency, pk.hop)
+	n.eng.At(departure+n.mach.LinkLatency, pk.hopFn)
 }
 
 func (p *packetNet) linkBandwidth(id topology.LinkID) float64 {

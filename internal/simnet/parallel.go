@@ -35,11 +35,17 @@ type ParallelPacket struct {
 // topology element.
 type routerActor struct {
 	net  *ParallelPacket
+	self des.ActorID
 	busy map[topology.LinkID]simtime.Time
 }
 
 // pktHop is the message: a packet arriving at path[idx]. remaining is
 // the message's undelivered-packet counter, shared by its packets.
+// One pktHop is allocated per packet at injection and rides the whole
+// path as a pointer (idx advancing in place): exactly one event
+// references it at any time, and passing a pointer through the
+// engine's `any` message slot does not allocate, where a struct copy
+// would box on every hop.
 type pktHop struct {
 	path      []topology.LinkID
 	size      int64
@@ -71,7 +77,8 @@ func NewParallelPacket(mach *machine.Config, cfg Config, numLPs int) (*ParallelP
 		owner := pp.ownerElem(topology.LinkID(id))
 		if _, ok := pp.actorOf[owner]; !ok {
 			a := &routerActor{net: pp, busy: make(map[topology.LinkID]simtime.Time)}
-			pp.actorOf[owner] = par.AddActor(a, lp%numLPs)
+			a.self = par.AddActor(a, lp%numLPs)
+			pp.actorOf[owner] = a.self
 			lp++
 		}
 	}
@@ -116,7 +123,7 @@ func (pp *ParallelPacket) Inject(at simtime.Time, src, dst int32, bytes int64) {
 		}
 		pp.packets++
 		first := pp.actorOf[pp.ownerElem(path[0])]
-		pp.par.ScheduleInitial(first, at+pp.mach.NICLatency, pktHop{path: path, size: size, remaining: remaining})
+		pp.par.ScheduleInitial(first, at+pp.mach.NICLatency, &pktHop{path: path, size: size, remaining: remaining})
 	}
 }
 
@@ -147,25 +154,27 @@ func (pp *ParallelPacket) Delivered() int64 { return pp.delivered.Load() }
 // Packets returns the number of packets injected.
 func (pp *ParallelPacket) Packets() int64 { return pp.packets }
 
+// Steps returns the total number of DES events executed across all
+// LPs (valid after Run returns) — the cost metric differential tests
+// compare across engine configurations.
+func (pp *ParallelPacket) Steps() uint64 { return pp.par.Steps() }
+
 // NullMessages exposes the engine's synchronization-message count.
 func (pp *ParallelPacket) NullMessages() uint64 { return pp.par.NullMessages() }
 
 // Handle implements des.Actor: process a packet's arrival at one link.
 func (a *routerActor) Handle(now simtime.Time, msg any, s des.Scheduler) {
-	hop := msg.(pktHop)
-	link := hop.path[hop.idx]
+	hop := msg.(*pktHop)
 	net := a.net
-	bw := net.linkBW(link)
-	begin := simtime.Max(now, a.busy[link])
-	departure := begin + simtime.TransferTime(hop.size, bw)
-	a.busy[link] = departure
-
-	if hop.idx+1 >= len(hop.path) {
-		// Ejected: the message is delivered when its last packet lands.
-		at := int64(departure + net.mach.LinkLatency + net.mach.NICLatency)
-		if hop.remaining.Add(-1) == 0 {
-			net.delivered.Add(1)
-		}
+	if hop.idx >= len(hop.path) {
+		// Delivery notice scheduled below: the message is delivered now.
+		// Recording delivery in its own event (rather than inline at the
+		// ejection hop with a future timestamp) keeps the accounting
+		// event-timed exactly like the sequential model, so a budget that
+		// halts before the delivery time excludes the same deliveries in
+		// both engines.
+		net.delivered.Add(1)
+		at := int64(now)
 		for {
 			cur := net.makespan.Load()
 			if at <= cur || net.makespan.CompareAndSwap(cur, at) {
@@ -174,12 +183,29 @@ func (a *routerActor) Handle(now simtime.Time, msg any, s des.Scheduler) {
 		}
 		return
 	}
+	link := hop.path[hop.idx]
+	bw := net.linkBW(link)
+	begin := simtime.Max(now, a.busy[link])
+	departure := begin + simtime.TransferTime(hop.size, bw)
+	a.busy[link] = departure
+
+	if hop.idx+1 >= len(hop.path) {
+		// Ejected: the message lands when its last packet clears the
+		// ejection wire and NIC. Per-link FIFO makes the final packet's
+		// departure the message's latest, so only it posts the notice.
+		if hop.remaining.Add(-1) == 0 {
+			hop.idx = len(hop.path) // repurpose the hop as a delivery notice
+			s.Schedule(a.self, departure-now+net.mach.LinkLatency+net.mach.NICLatency, hop)
+		}
+		return
+	}
 	next := hop.path[hop.idx+1]
 	target := net.actorOf[net.ownerElem(next)]
 	// Delay to the next hop: remaining occupancy plus wire latency;
-	// always ≥ link latency, the engine lookahead.
-	s.Schedule(target, departure-now+net.mach.LinkLatency,
-		pktHop{path: hop.path, size: hop.size, idx: hop.idx + 1, remaining: hop.remaining})
+	// always ≥ link latency, the engine lookahead. The same pktHop
+	// object rides the whole path; only idx advances.
+	hop.idx++
+	s.Schedule(target, departure-now+net.mach.LinkLatency, hop)
 }
 
 func (pp *ParallelPacket) linkBW(id topology.LinkID) float64 {

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -73,6 +74,167 @@ func TestParallelPacketMatchesSequential(t *testing.T) {
 			lo, hi := seqTime.Scale(0.9), seqTime.Scale(1.15)
 			if end < lo || end > hi {
 				t.Errorf("parallel makespan %v outside [%v, %v] of sequential %v", end, lo, hi, seqTime)
+			}
+		})
+	}
+}
+
+// diffTraffic is a tie-free cross-node pattern for the differential
+// tests: staggered start times and distinct sizes ensure no two
+// packets from different senders ever contend for a link at the same
+// timestamp, so sequential and parallel tie-breaking cannot diverge.
+type diffMsg struct {
+	at       simtime.Time
+	src, dst int32
+	bytes    int64
+}
+
+func diffTraffic(mach *machine.Config, n int) []diffMsg {
+	var out []diffMsg
+	for r := 0; r < n; r++ {
+		d := (r*7 + 5) % n
+		if d == r || mach.NodeOf[r] == mach.NodeOf[d] {
+			continue // keep the comparison free of loopback asymmetry
+		}
+		out = append(out, diffMsg{
+			at:    simtime.Time(r) * 5 * simtime.Microsecond,
+			src:   int32(r),
+			dst:   int32(d),
+			bytes: 48<<10 + int64(r)<<10,
+		})
+	}
+	return out
+}
+
+// runSequentialPacket replays traffic on the sequential packet model,
+// returning (last delivery time, delivered count, packet count, error).
+func runSequentialPacket(t *testing.T, mach *machine.Config, traffic []diffMsg, b des.Budget) (simtime.Time, int, int64, error) {
+	t.Helper()
+	var eng des.Engine
+	eng.SetBudget(b)
+	net, err := New(Packet, &eng, mach, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last simtime.Time
+	delivered := 0
+	for _, m := range traffic {
+		m := m
+		eng.At(m.at, func() {
+			net.Send(m.src, m.dst, m.bytes, func() {
+				delivered++
+				last = simtime.Max(last, eng.Now())
+			})
+		})
+	}
+	eng.Run()
+	return last, delivered, net.Stats().Packets, eng.Err()
+}
+
+// TestDifferentialSequentialVsCMB pins the optimized engines to each
+// other: the same workload through the sequential event loop and the
+// CMB parallel engine must produce bit-identical predicted times and
+// event counts, at every LP count. This is the determinism contract
+// the engine rewrite (4-ary heap, pooled packets, deterministic
+// cross-LP tie-break) must not bend.
+func TestDifferentialSequentialVsCMB(t *testing.T) {
+	mach, err := machine.Hopper(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := diffTraffic(mach, 64)
+	if len(traffic) < 32 {
+		t.Fatalf("degenerate traffic pattern: %d messages", len(traffic))
+	}
+	seqTime, seqDelivered, seqPackets, seqErr := runSequentialPacket(t, mach, traffic, des.Budget{})
+	if seqErr != nil {
+		t.Fatalf("sequential run failed: %v", seqErr)
+	}
+
+	var steps1 uint64
+	for _, lps := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("lps=%d", lps), func(t *testing.T) {
+			pp, err := NewParallelPacket(mach, Config{}, lps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range traffic {
+				pp.Inject(m.at, m.src, m.dst, m.bytes)
+			}
+			end := pp.Run()
+			if err := pp.Err(); err != nil {
+				t.Fatalf("parallel run failed: %v", err)
+			}
+			if end != seqTime {
+				t.Errorf("parallel makespan %v != sequential %v (drift %v)", end, seqTime, end-seqTime)
+			}
+			if got := int(pp.Delivered()); got != seqDelivered {
+				t.Errorf("delivered %d, want %d", got, seqDelivered)
+			}
+			if pp.Packets() != seqPackets {
+				t.Errorf("packets %d, want %d", pp.Packets(), seqPackets)
+			}
+			// Event counts must be identical across LP partitions: the
+			// same packets make the same hops no matter how routers are
+			// spread over goroutines.
+			if lps == 1 {
+				steps1 = pp.Steps()
+			} else if pp.Steps() != steps1 {
+				t.Errorf("lps=%d executed %d events, lps=1 executed %d", lps, pp.Steps(), steps1)
+			}
+		})
+	}
+}
+
+// TestDifferentialBudgetHalt runs the same workload under a
+// simulated-time budget that halts mid-run. With one LP the parallel
+// engine sees the global timestamp order, so the executed prefix —
+// and therefore delivered count and last delivery — must match the
+// sequential engine exactly; with more LPs the halt point is only
+// locally ordered, so the test asserts the typed error and that the
+// parallel run delivered a prefix, never more than the full run.
+func TestDifferentialBudgetHalt(t *testing.T) {
+	mach, err := machine.Hopper(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := diffTraffic(mach, 64)
+	fullTime, fullDelivered, _, _ := runSequentialPacket(t, mach, traffic, des.Budget{})
+	budget := des.Budget{MaxTime: fullTime / 2}
+
+	seqTime, seqDelivered, _, seqErr := runSequentialPacket(t, mach, traffic, budget)
+	if !errors.Is(seqErr, des.ErrBudgetExceeded) {
+		t.Fatalf("sequential budget err = %v, want ErrBudgetExceeded", seqErr)
+	}
+	if seqDelivered >= fullDelivered {
+		t.Fatalf("budget did not bite: %d of %d delivered", seqDelivered, fullDelivered)
+	}
+
+	for _, lps := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("lps=%d", lps), func(t *testing.T) {
+			pp, err := NewParallelPacket(mach, Config{}, lps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pp.SetBudget(budget)
+			for _, m := range traffic {
+				pp.Inject(m.at, m.src, m.dst, m.bytes)
+			}
+			end := pp.Run()
+			if !errors.Is(pp.Err(), des.ErrBudgetExceeded) {
+				t.Fatalf("parallel budget err = %v, want ErrBudgetExceeded", pp.Err())
+			}
+			if int(pp.Delivered()) > fullDelivered {
+				t.Errorf("delivered %d, more than the complete run's %d", pp.Delivered(), fullDelivered)
+			}
+			if lps == 1 {
+				// Single LP: identical halt point, bit-identical prefix.
+				if int(pp.Delivered()) != seqDelivered {
+					t.Errorf("delivered %d, want sequential's %d", pp.Delivered(), seqDelivered)
+				}
+				if end != seqTime {
+					t.Errorf("halted makespan %v != sequential %v", end, seqTime)
+				}
 			}
 		})
 	}
