@@ -17,11 +17,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -81,6 +83,11 @@ func scenarios() []scenario {
 		{"simnet/parallel-packet-lps4", benchParallelPacket},
 		{"mpisim/replay-packet", mkReplay(simnet.Packet)},
 		{"mpisim/replay-packetflow", mkReplay(simnet.PacketFlow)},
+		{"trace/replay-cursor", benchReplayCursor},
+		{"trace/codec-roundtrip", benchCodecRoundtrip},
+		{"trace/codec-roundtrip-v1", benchCodecRoundtripV1},
+		{"trace/materialize-full", benchMaterializeFull},
+		{"trace/materialize-vs-stream", benchStream},
 	}
 }
 
@@ -224,36 +231,166 @@ func benchParallelPacket(short bool) uint64 {
 }
 
 // replayTrace caches the materialized trace shared by the replay
-// scenarios (materialization itself is benchmarked elsewhere).
+// scenarios (materialization itself is benchmarked elsewhere), plus
+// its columnar twin and encoded forms for the trace/* scenarios.
 var (
 	replayTr   *trace.Trace
+	replayCols *trace.Columns
 	replayMach *machine.Config
+	replayEnc  struct{ v1, v2 []byte }
 )
+
+// replayParams is the shared replay workload.
+func replayParams(short bool) workload.Params {
+	class := "A"
+	if short {
+		class = "S"
+	}
+	return workload.Params{App: "MiniFE", Class: class, Ranks: 64, Machine: "hopper", Seed: 7}
+}
+
+func ensureReplay(short bool) {
+	if replayTr != nil {
+		return
+	}
+	p := replayParams(short)
+	tr, err := workload.Materialize(p)
+	if err != nil {
+		panic(err)
+	}
+	mach, err := machine.New(p.Machine, p.Ranks, 0)
+	if err != nil {
+		panic(err)
+	}
+	replayTr, replayMach = tr, mach
+	replayCols = trace.FromTrace(tr)
+	var v1, v2 bytes.Buffer
+	if err := trace.Write(&v1, tr); err != nil {
+		panic(err)
+	}
+	if err := trace.WriteColumns(&v2, replayCols); err != nil {
+		panic(err)
+	}
+	replayEnc.v1, replayEnc.v2 = v1.Bytes(), v2.Bytes()
+}
 
 func mkReplay(m simnet.Model) func(bool) uint64 {
 	return func(short bool) uint64 {
-		if replayTr == nil {
-			app, class := "MiniFE", "A"
-			if short {
-				class = "S"
-			}
-			p := workload.Params{App: app, Class: class, Ranks: 64, Machine: "hopper", Seed: 7}
-			tr, err := workload.Materialize(p)
-			if err != nil {
-				panic(err)
-			}
-			mach, err := machine.New(p.Machine, p.Ranks, 0)
-			if err != nil {
-				panic(err)
-			}
-			replayTr, replayMach = tr, mach
-		}
+		ensureReplay(short)
 		res, err := mpisim.Replay(replayTr, m, replayMach, simnet.Config{}, mpisim.Options{})
 		if err != nil {
 			panic(err)
 		}
 		return res.Events
 	}
+}
+
+// benchReplayCursor is mpisim/replay-packet over the columnar
+// representation: the same trace replayed through the zero-copy
+// Source/cursor path, so its per-event deltas against replay-packet
+// isolate the cost of the access path itself.
+func benchReplayCursor(short bool) uint64 {
+	ensureReplay(short)
+	res, err := mpisim.ReplaySource(replayCols, simnet.Packet, replayMach, simnet.Config{}, mpisim.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Events
+}
+
+// benchCodecRoundtrip encodes and decodes the columnar binary format
+// (version 2); the v1 comparator below does the same through the
+// array-of-structs format. "Events" is trace events moved per op.
+func benchCodecRoundtrip(short bool) uint64 {
+	ensureReplay(short)
+	var buf bytes.Buffer
+	buf.Grow(len(replayEnc.v2))
+	if err := trace.WriteColumns(&buf, replayCols); err != nil {
+		panic(err)
+	}
+	c, err := trace.ReadColumns(&buf)
+	if err != nil {
+		panic(err)
+	}
+	return uint64(c.NumEvents())
+}
+
+func benchCodecRoundtripV1(short bool) uint64 {
+	ensureReplay(short)
+	var buf bytes.Buffer
+	buf.Grow(len(replayEnc.v1))
+	if err := trace.Write(&buf, replayTr); err != nil {
+		panic(err)
+	}
+	t, err := trace.Read(&buf)
+	if err != nil {
+		panic(err)
+	}
+	return uint64(t.NumEvents())
+}
+
+// benchMaterializeFull generates the replay workload's full trace in
+// one resident build; benchStream regenerates it in 8-rank windows via
+// the streaming path. Streaming allocates MORE total bytes per event
+// delivered (the generator reruns once per window) — what it buys is
+// peak residency bounded by one window instead of the whole trace.
+// The pair pins that regeneration overhead so it stays deliberate.
+func benchMaterializeFull(short bool) uint64 {
+	p := replayParams(short)
+	tr, err := workload.Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return uint64(tr.NumEvents())
+}
+
+func benchStream(short bool) uint64 {
+	p := replayParams(short)
+	var events uint64
+	err := p.Stream(8, func(rank int, cur trace.Cursor) error {
+		var e trace.Event
+		for cur.Next(&e) {
+			events++
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return events
+}
+
+// startProfiles turns on the requested pprof outputs and returns the
+// function that finalizes them (stops the CPU profile, snapshots the
+// heap after a final GC).
+func startProfiles(cpu, mem string) (func(), error) {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 func measure(sc scenario, short bool) Entry {
@@ -284,7 +421,16 @@ func main() {
 		"snapshot output path (empty = stdout only)")
 	baselinePath := flag.String("baseline", "", "earlier snapshot to compare against and embed")
 	short := flag.Bool("short", false, "reduced workloads (CI gate mode)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	var baseline *Snapshot
 	if *baselinePath != "" {

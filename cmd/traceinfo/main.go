@@ -36,13 +36,14 @@ func describe(path string, verbose bool) error {
 		return err
 	}
 	defer f.Close()
-	tr, err := trace.Read(f)
+	cols, err := trace.ReadColumns(f)
 	if err != nil {
 		return err
 	}
-	if err := tr.Validate(); err != nil {
+	if err := cols.Validate(); err != nil {
 		return fmt.Errorf("invalid trace: %w", err)
 	}
+	tr := cols.Materialize()
 
 	fmt.Printf("%s\n", path)
 	fmt.Printf("  id            %s\n", tr.Meta.ID())
@@ -55,6 +56,9 @@ func describe(path string, verbose bool) error {
 	fmt.Printf("  events        %d\n", tr.NumEvents())
 	fmt.Printf("  measured      total %v, comm %v (%.1f%%)\n",
 		tr.MeasuredTotal(), tr.MeasuredComm(), 100*tr.CommFraction())
+	colBytes, aosBytes := cols.FootprintBytes(), trace.AoSFootprintBytes(tr)
+	fmt.Printf("  resident est  columnar %.2f MB, array-of-structs %.2f MB (%.0f%%)\n",
+		float64(colBytes)/1e6, float64(aosBytes)/1e6, 100*float64(colBytes)/float64(max(aosBytes, 1)))
 
 	counts := map[trace.Op]int{}
 	var bytes int64

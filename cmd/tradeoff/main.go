@@ -25,11 +25,54 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"hpctradeoff/internal/core"
 	"hpctradeoff/internal/workload"
 )
+
+// finishProfiles finalizes any active pprof outputs; exit routes all
+// early termination through it so profiles survive failed runs too.
+var finishProfiles = func() {}
+
+func exit(code int) {
+	finishProfiles()
+	os.Exit(code)
+}
+
+// startProfiles turns on the requested pprof outputs and installs the
+// finalizer (stops the CPU profile, snapshots the heap after a GC).
+func startProfiles(cpu, mem string) error {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	finishProfiles = func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}
+	return nil
+}
 
 func main() {
 	stride := flag.Int("stride", 1, "keep every Nth manifest entry")
@@ -47,12 +90,19 @@ func main() {
 	retries := flag.Int("retries", 0, "retry transiently failing traces up to N times")
 	checkpoint := flag.String("checkpoint", "", "append completed traces to this JSONL journal")
 	resume := flag.Bool("resume", false, "skip traces already in -checkpoint; rerun only missing/failed ones")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "tradeoff: -resume requires -checkpoint")
 		os.Exit(2)
 	}
+	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		exit(1)
+	}
+	defer finishProfiles()
 
 	var rs []*core.TraceResult
 	var err error
@@ -60,7 +110,7 @@ func main() {
 		rs, err = core.LoadResultsFile(*load)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	} else {
 		suite := workload.SuiteSmall(*stride, *maxRanks)
@@ -89,11 +139,11 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if rep.Succeeded+rep.Skipped == 0 {
 			fmt.Fprintln(os.Stderr, "tradeoff: no trace survived; nothing to render")
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -107,7 +157,7 @@ func main() {
 		}
 		if err := core.SaveResultsFile(*save, saved); err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("results saved to %s\n\n", *save)
 	}
@@ -135,7 +185,7 @@ func main() {
 		paths, err := core.WriteFigures(*figDir, rs, *minWall)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("\nwrote %d SVG figures to %s\n", len(paths), *figDir)
 	}

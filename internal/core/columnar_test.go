@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/mfact"
+	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/workload"
+)
+
+// TestColumnarReplayBitIdentical is the determinism contract for the
+// columnar trace core: for every application in the suite, replaying
+// the columnar representation (built natively, never materialized)
+// must produce results bit-identical to replaying the classic
+// array-of-structs trace — for MFACT (sequential and parallel) and for
+// every packet simulator that supports the trace. Any divergence means
+// the Source access path changed replay semantics, not just layout.
+func TestColumnarReplayBitIdentical(t *testing.T) {
+	for i, app := range workload.Apps() {
+		t.Run(app, func(t *testing.T) {
+			p := workload.Params{App: app, Class: "S", Ranks: 8, Machine: "edison", Seed: int64(300 + i)}
+			tr, err := workload.Generate(p)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			cols, err := workload.GenerateColumns(p)
+			if err != nil {
+				t.Fatalf("GenerateColumns: %v", err)
+			}
+			mach, err := machine.New(p.Machine, p.Ranks, 0)
+			if err != nil {
+				t.Fatalf("machine: %v", err)
+			}
+
+			// MFACT: the logical-clock model over the full standard sweep.
+			want, err := mfact.Model(tr, mach, nil)
+			if err != nil {
+				t.Fatalf("mfact.Model(Trace): %v", err)
+			}
+			got, err := mfact.ModelSource(cols, mach, nil)
+			if err != nil {
+				t.Fatalf("mfact.ModelSource(Columns): %v", err)
+			}
+			requireSameMFACT(t, "sequential", want, got)
+			gotPar, err := mfact.ModelParallelSource(cols, mach, nil)
+			if err != nil {
+				t.Fatalf("mfact.ModelParallelSource(Columns): %v", err)
+			}
+			requireSameMFACT(t, "parallel", want, gotPar)
+
+			// Packet simulation: every model that can replay this trace.
+			for _, model := range simnet.Models() {
+				if !simnet.Supports(model, tr.Meta.UsesCommSplit, tr.Meta.UsesThreadMultiple) {
+					continue
+				}
+				wr, err := mpisim.Replay(tr, model, mach, simnet.Config{}, mpisim.Options{})
+				if err != nil {
+					t.Fatalf("%s: Replay(Trace): %v", model, err)
+				}
+				gr, err := mpisim.ReplaySource(cols, model, mach, simnet.Config{}, mpisim.Options{})
+				if err != nil {
+					t.Fatalf("%s: ReplaySource(Columns): %v", model, err)
+				}
+				if wr.Total != gr.Total || wr.Comm != gr.Comm || wr.Events != gr.Events {
+					t.Fatalf("%s: Trace {total %v comm %v events %d} vs Columns {total %v comm %v events %d}",
+						model, wr.Total, wr.Comm, wr.Events, gr.Total, gr.Comm, gr.Events)
+				}
+				for r := range wr.RankFinish {
+					if wr.RankFinish[r] != gr.RankFinish[r] {
+						t.Fatalf("%s: rank %d finish %v vs %v", model, r, wr.RankFinish[r], gr.RankFinish[r])
+					}
+					if wr.RankComm[r] != gr.RankComm[r] {
+						t.Fatalf("%s: rank %d comm %v vs %v", model, r, wr.RankComm[r], gr.RankComm[r])
+					}
+				}
+			}
+		})
+	}
+}
+
+func requireSameMFACT(t *testing.T, which string, want, got *mfact.Result) {
+	t.Helper()
+	if got.Events != want.Events || got.Class != want.Class {
+		t.Fatalf("%s: events/class %d/%v, want %d/%v", which, got.Events, got.Class, want.Events, want.Class)
+	}
+	for k := range want.Totals {
+		if got.Totals[k] != want.Totals[k] {
+			t.Fatalf("%s: config %d total %v, want %v", which, k, got.Totals[k], want.Totals[k])
+		}
+		if got.Comms[k] != want.Comms[k] {
+			t.Fatalf("%s: config %d comm %v, want %v", which, k, got.Comms[k], want.Comms[k])
+		}
+		if got.PerConfig[k] != want.PerConfig[k] {
+			t.Fatalf("%s: config %d counters %+v, want %+v", which, k, got.PerConfig[k], want.PerConfig[k])
+		}
+	}
+}

@@ -124,7 +124,18 @@ func ModelParallel(tr *trace.Trace, mach *machine.Config, configs []NetConfig) (
 	return run(tr, mach, configs, true)
 }
 
-func run(tr *trace.Trace, mach *machine.Config, configs []NetConfig, parallel bool) (*Result, error) {
+// ModelSource is Model over any trace representation (array-of-structs
+// or columnar); by the determinism contract both replay bit-identically.
+func ModelSource(src trace.Source, mach *machine.Config, configs []NetConfig) (*Result, error) {
+	return run(src, mach, configs, false)
+}
+
+// ModelParallelSource is ModelParallel over any trace representation.
+func ModelParallelSource(src trace.Source, mach *machine.Config, configs []NetConfig) (*Result, error) {
+	return run(src, mach, configs, true)
+}
+
+func run(src trace.Source, mach *machine.Config, configs []NetConfig, parallel bool) (*Result, error) {
 	if configs == nil {
 		configs = StandardSweep()
 	}
@@ -136,15 +147,15 @@ func run(tr *trace.Trace, mach *machine.Config, configs []NetConfig, parallel bo
 			return nil, fmt.Errorf("mfact: config %d has non-positive scale %+v", i, c)
 		}
 	}
-	if len(mach.NodeOf) < tr.Meta.NumRanks {
-		return nil, fmt.Errorf("mfact: machine hosts %d ranks, trace has %d", len(mach.NodeOf), tr.Meta.NumRanks)
+	if len(mach.NodeOf) < src.TraceMeta().NumRanks {
+		return nil, fmt.Errorf("mfact: machine hosts %d ranks, trace has %d", len(mach.NodeOf), src.TraceMeta().NumRanks)
 	}
 	var st *state
 	var err error
 	if parallel {
-		st, err = replayParallel(tr, mach, configs)
+		st, err = replayParallel(src, mach, configs)
 	} else {
-		st, err = replaySequential(tr, mach, configs)
+		st, err = replaySequential(src, mach, configs)
 	}
 	if err != nil {
 		return nil, err

@@ -86,15 +86,17 @@ type parClaim struct {
 	arrival []simtime.Time
 }
 
-func replayParallel(tr *trace.Trace, mach *machine.Config, configs []NetConfig) (*state, error) {
+func replayParallel(src trace.Source, mach *machine.Config, configs []NetConfig) (*state, error) {
 	// The parallel replayer blocks goroutines on real condition
 	// variables, so structurally invalid traces would hang rather than
-	// fail; validate first.
-	if err := tr.Validate(); err != nil {
-		return nil, err
+	// fail; validate first. Both trace representations expose Validate.
+	if v, ok := src.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
 	}
-	st := newState(tr, newCostModel(mach, configs))
-	n := tr.Meta.NumRanks
+	st := newState(src.TraceMeta().NumRanks, newCostModel(mach, configs))
+	n := src.TraceMeta().NumRanks
 	boxes := make([]*mailbox, n)
 	for r := range boxes {
 		boxes[r] = newMailbox()
@@ -107,7 +109,7 @@ func replayParallel(tr *trace.Trace, mach *machine.Config, configs []NetConfig) 
 		wg.Add(1)
 		go func(rid int32) {
 			defer wg.Done()
-			errs[rid] = replayRank(st, tr, rid, boxes, colls)
+			errs[rid] = replayRank(st, src, rid, boxes, colls)
 		}(int32(r))
 	}
 	wg.Wait()
@@ -119,12 +121,13 @@ func replayParallel(tr *trace.Trace, mach *machine.Config, configs []NetConfig) 
 	return st, nil
 }
 
-func replayRank(st *state, tr *trace.Trace, rid int32, boxes []*mailbox, colls *collTable) error {
+func replayRank(st *state, src trace.Source, rid int32, boxes []*mailbox, colls *collTable) error {
 	// claims[k] holds this rank's unmatched receives on channel k, in
 	// posting order; they must be resolved FIFO.
 	claims := make(map[chanKey][]*parClaim)
 	reqs := make(map[int32]*parClaim)
-	collSeq := make(map[trace.CommID]int)
+	comms := src.TraceComms()
+	collSeq := make([]int, comms.Len())
 	myBox := boxes[rid]
 
 	// resolveUntil matches queued claims on k (in order) until the
@@ -139,9 +142,11 @@ func replayRank(st *state, tr *trace.Trace, rid int32, boxes []*mailbox, colls *
 		}
 	}
 
-	evs := tr.Ranks[rid]
-	for i := range evs {
-		e := &evs[i]
+	var ev trace.Event
+	m := src.RankLen(int(rid))
+	for i := 0; i < m; i++ {
+		src.EventAt(int(rid), i, &ev)
+		e := &ev
 		switch e.Op {
 		case trace.OpCompute:
 			st.applyCompute(rid, e.Duration())
@@ -192,7 +197,7 @@ func replayRank(st *state, tr *trace.Trace, rid int32, boxes []*mailbox, colls *
 			if !e.Op.IsCollective() {
 				return fmt.Errorf("event %d: unsupported op %v", i, e.Op)
 			}
-			nMembers := tr.Comms.Size(e.Comm)
+			nMembers := comms.Size(e.Comm)
 			if nMembers <= 1 {
 				st.applyCall(rid)
 				continue

@@ -13,6 +13,14 @@ import (
 // a collective whose members have not all arrived; matching events wake
 // blocked ranks through a worklist. The result is deterministic and
 // identical to the parallel replayer's.
+//
+// Clock vectors ([]simtime.Time of length K) are the replayer's only
+// per-event allocation, so the sequential path recycles them through a
+// free list: a vector is released once its reader has consumed it and
+// reallocated fully overwritten (snapshot copies, recvArrivalInto
+// writes every element), keeping values bit-identical to the
+// allocate-always parallel replayer. The parallel replayer cannot share
+// the list (its ranks run concurrently) and keeps allocating.
 
 type chanKey struct {
 	src, dst, tag int32
@@ -52,7 +60,7 @@ type seqRank struct {
 	reqs        map[int32]*seqReq
 	recvBuf     *seqPending // pending blocking receive
 	waitingColl *seqColl    // collective this rank has arrived at
-	collSeq     map[trace.CommID]int
+	collSeq     []int       // per-comm collective sequence numbers
 	queued      bool
 	done        bool
 }
@@ -72,15 +80,39 @@ type seqColl struct {
 	complete  bool
 }
 
-func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig) (*state, error) {
-	st := newState(tr, newCostModel(mach, configs))
-	n := tr.Meta.NumRanks
+// vecPool recycles clock vectors of length K. Vectors handed out are
+// NOT zeroed; every producer fully overwrites them.
+type vecPool struct {
+	free [][]simtime.Time
+	k    int
+}
+
+func (p *vecPool) get() []simtime.Time {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		return v
+	}
+	return make([]simtime.Time, p.k)
+}
+
+func (p *vecPool) put(v []simtime.Time) {
+	if v != nil {
+		p.free = append(p.free, v)
+	}
+}
+
+func replaySequential(src trace.Source, mach *machine.Config, configs []NetConfig) (*state, error) {
+	st := newState(src.TraceMeta().NumRanks, newCostModel(mach, configs))
+	comms := src.TraceComms()
+	n := src.TraceMeta().NumRanks
+	pool := &vecPool{k: st.K}
 	ranks := make([]*seqRank, n)
 	for r := 0; r < n; r++ {
 		ranks[r] = &seqRank{
 			id:      int32(r),
 			reqs:    make(map[int32]*seqReq),
-			collSeq: make(map[trace.CommID]int),
+			collSeq: make([]int, comms.Len()),
 		}
 	}
 	chans := make(map[chanKey]*seqChannel)
@@ -106,22 +138,31 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 		return ch
 	}
 
+	// snapshot clones rank r's clock vector from the pool.
+	snapshot := func(r int32) []simtime.Time {
+		v := pool.get()
+		copy(v, st.clocks[r])
+		return v
+	}
+
+	var e trace.Event
+	var one [1]int32 // scratch for single-request waits
 	for len(work) > 0 {
 		rid := work[0]
 		work = work[1:]
 		rs := ranks[rid]
 		rs.queued = false
-		evs := tr.Ranks[rid]
+		m := src.RankLen(int(rid))
 
 	rankLoop:
-		for rs.pc < len(evs) {
-			e := &evs[rs.pc]
+		for rs.pc < m {
+			src.EventAt(int(rid), rs.pc, &e)
 			switch e.Op {
 			case trace.OpCompute:
 				st.applyCompute(rid, e.Duration())
 
 			case trace.OpSend, trace.OpIsend:
-				post := st.snapshot(rid)
+				post := snapshot(rid)
 				k := chanKey{src: rid, dst: e.Peer, tag: e.Tag, comm: e.Comm}
 				ch := channelFor(k)
 				// Wake the first waiting receiver, else queue the send.
@@ -138,7 +179,7 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 				if e.Op == trace.OpIsend {
 					// The send cost was charged inline; the request is
 					// complete as of the current clock.
-					rs.reqs[e.Req] = &seqReq{arrival: st.snapshot(rid)}
+					rs.reqs[e.Req] = &seqReq{arrival: snapshot(rid)}
 				}
 
 			case trace.OpRecv:
@@ -148,7 +189,10 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 					if len(ch.sends) > 0 {
 						s := ch.sends[0]
 						ch.sends = ch.sends[1:]
-						st.applyRecvArrival(rid, recvArrival(st, s.post, e.Bytes), e.Bytes)
+						arr := recvArrivalInto(pool.get(), st, s.post, e.Bytes)
+						st.applyRecvArrival(rid, arr, e.Bytes)
+						pool.put(arr)
+						pool.put(s.post)
 						break // proceed to pc++
 					}
 					rs.recvBuf = &seqPending{rank: rid, bytes: e.Bytes, req: trace.NoReq}
@@ -158,7 +202,10 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 				if !rs.recvBuf.filled {
 					break rankLoop
 				}
-				st.applyRecvArrival(rid, recvArrival(st, rs.recvBuf.sendPost, e.Bytes), e.Bytes)
+				arr := recvArrivalInto(pool.get(), st, rs.recvBuf.sendPost, e.Bytes)
+				st.applyRecvArrival(rid, arr, e.Bytes)
+				pool.put(arr)
+				pool.put(rs.recvBuf.sendPost)
 				rs.recvBuf = nil
 
 			case trace.OpIrecv:
@@ -168,7 +215,8 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 				if len(ch.sends) > 0 {
 					s := ch.sends[0]
 					ch.sends = ch.sends[1:]
-					req.arrival = recvArrival(st, s.post, e.Bytes)
+					req.arrival = recvArrivalInto(pool.get(), st, s.post, e.Bytes)
+					pool.put(s.post)
 				} else {
 					p := &seqPending{rank: rid, bytes: e.Bytes, req: e.Req}
 					ch.waiters = append(ch.waiters, p)
@@ -180,7 +228,8 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 			case trace.OpWait, trace.OpWaitall:
 				ids := e.Reqs
 				if e.Op == trace.OpWait {
-					ids = []int32{e.Req}
+					one[0] = e.Req
+					ids = one[:]
 				}
 				// First resolve any pendings that have been filled.
 				ready := true
@@ -191,7 +240,8 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 					}
 					if rq.arrival == nil {
 						if rq.pending != nil && rq.pending.filled {
-							rq.arrival = recvArrival(st, rq.pending.sendPost, rq.pending.bytes)
+							rq.arrival = recvArrivalInto(pool.get(), st, rq.pending.sendPost, rq.pending.bytes)
+							pool.put(rq.pending.sendPost)
 							rq.pending = nil
 						} else {
 							ready = false
@@ -201,18 +251,29 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 				if !ready {
 					break rankLoop
 				}
+				// Fold the arrivals, reusing the first vector as the
+				// accumulator and releasing the rest.
 				var acc []simtime.Time
 				for _, id := range ids {
-					acc = accumulateArrival(acc, rs.reqs[id].arrival)
+					rq := rs.reqs[id]
+					if acc == nil {
+						acc = rq.arrival
+					} else {
+						for k := range acc {
+							acc[k] = simtime.Max(acc[k], rq.arrival[k])
+						}
+						pool.put(rq.arrival)
+					}
 					delete(rs.reqs, id)
 				}
 				st.applyWait(rid, acc)
+				pool.put(acc)
 
 			default: // collectives
 				if !e.Op.IsCollective() {
 					return nil, fmt.Errorf("mfact: rank %d event %d: unsupported op %v", rid, rs.pc, e.Op)
 				}
-				nMembers := tr.Comms.Size(e.Comm)
+				nMembers := comms.Size(e.Comm)
 				if nMembers <= 1 {
 					st.applyCall(rid)
 					break
@@ -226,10 +287,19 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 				}
 				if rs.waitingColl != inst {
 					// First visit: register our entry.
-					entry := st.snapshot(rid)
-					inst.maxEntry = accumulateArrival(inst.maxEntry, entry)
+					entry := snapshot(rid)
+					if inst.maxEntry == nil {
+						inst.maxEntry = pool.get()
+						copy(inst.maxEntry, entry)
+					} else {
+						for k := range inst.maxEntry {
+							inst.maxEntry[k] = simtime.Max(inst.maxEntry[k], entry[k])
+						}
+					}
 					if e.Op.IsRooted() && rid == e.Root {
 						inst.rootEntry = entry
+					} else {
+						pool.put(entry)
 					}
 					inst.arrived++
 					inst.members = append(inst.members, rid)
@@ -246,24 +316,26 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 				if !inst.complete {
 					break rankLoop
 				}
-				st.applyCollective(rid, e, nMembers, e.Op.IsRooted() && rid == e.Root, inst.maxEntry, inst.rootEntry)
+				st.applyCollective(rid, &e, nMembers, e.Op.IsRooted() && rid == e.Root, inst.maxEntry, inst.rootEntry)
 				rs.waitingColl = nil
 				rs.collSeq[e.Comm]++
 				inst.applied++
 				if inst.applied == inst.n {
+					pool.put(inst.maxEntry)
+					pool.put(inst.rootEntry)
 					delete(colls, ck)
 				}
 			}
 			rs.pc++
 		}
-		if rs.pc >= len(evs) {
+		if rs.pc >= m {
 			rs.done = true
 		}
 	}
 
 	for _, rs := range ranks {
 		if !rs.done {
-			return nil, fmt.Errorf("mfact: deadlock: rank %d stuck at event %d/%d", rs.id, rs.pc, len(tr.Ranks[rs.id]))
+			return nil, fmt.Errorf("mfact: deadlock: rank %d stuck at event %d/%d", rs.id, rs.pc, src.RankLen(int(rs.id)))
 		}
 	}
 	return st, nil
@@ -272,7 +344,12 @@ func replaySequential(tr *trace.Trace, mach *machine.Config, configs []NetConfig
 // recvArrival computes the arrival vector of a message sent at
 // sendPost (without completing a receive op).
 func recvArrival(st *state, sendPost []simtime.Time, bytes int64) []simtime.Time {
-	out := make([]simtime.Time, st.K)
+	return recvArrivalInto(make([]simtime.Time, st.K), st, sendPost, bytes)
+}
+
+// recvArrivalInto is recvArrival writing into a caller-provided vector
+// (every element is overwritten).
+func recvArrivalInto(out []simtime.Time, st *state, sendPost []simtime.Time, bytes int64) []simtime.Time {
 	o := st.cm.overhead
 	for k := 0; k < st.K; k++ {
 		out[k] = sendPost[k] + o + st.cm.alpha[k] + st.cm.xfer(k, bytes)

@@ -9,7 +9,6 @@ import (
 // Rank r's rows are touched only by the code replaying rank r, so the
 // parallel replayer shares one state without locking.
 type state struct {
-	tr *trace.Trace
 	cm *costModel
 	K  int
 	// clocks[r][k] is rank r's logical clock under config k.
@@ -21,10 +20,9 @@ type state struct {
 	events []int // per-rank event counts (summed at the end)
 }
 
-func newState(tr *trace.Trace, cm *costModel) *state {
-	n := tr.Meta.NumRanks
+func newState(n int, cm *costModel) *state {
 	st := &state{
-		tr: tr, cm: cm, K: cm.K,
+		cm: cm, K: cm.K,
 		clocks: make([][]simtime.Time, n),
 		cnt:    make([][]Counters, n),
 		comm:   make([][]simtime.Time, n),

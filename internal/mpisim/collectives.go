@@ -36,9 +36,9 @@ const (
 )
 
 func (lw *lowerer) lowerCollective(rank int, e *trace.Event, ev int32, seq int, vIndex map[vKey][][]int64) error {
-	members := lw.tr.Comms.Members(e.Comm)
+	members := lw.comms.Members(e.Comm)
 	n := len(members)
-	pos := lw.tr.Comms.Position(e.Comm, int32(rank))
+	pos := lw.comms.Position(e.Comm, int32(rank))
 	if pos < 0 {
 		return fmt.Errorf("mpisim: rank %d not in comm %d", rank, e.Comm)
 	}
@@ -51,15 +51,15 @@ func (lw *lowerer) lowerCollective(rank int, e *trace.Event, ev int32, seq int, 
 	case trace.OpBarrier:
 		c.dissemination(0)
 	case trace.OpBcast:
-		c.binomialBcast(int(lw.tr.Comms.Position(e.Comm, e.Root)), e.Bytes)
+		c.binomialBcast(int(lw.comms.Position(e.Comm, e.Root)), e.Bytes)
 	case trace.OpReduce:
-		c.binomialReduce(int(lw.tr.Comms.Position(e.Comm, e.Root)), e.Bytes)
+		c.binomialReduce(int(lw.comms.Position(e.Comm, e.Root)), e.Bytes)
 	case trace.OpAllreduce:
 		c.recursiveDoublingAllreduce(e.Bytes)
 	case trace.OpGather:
-		c.binomialGather(int(lw.tr.Comms.Position(e.Comm, e.Root)), e.Bytes)
+		c.binomialGather(int(lw.comms.Position(e.Comm, e.Root)), e.Bytes)
 	case trace.OpScatter:
-		c.binomialScatter(int(lw.tr.Comms.Position(e.Comm, e.Root)), e.Bytes)
+		c.binomialScatter(int(lw.comms.Position(e.Comm, e.Root)), e.Bytes)
 	case trace.OpAllgather:
 		c.ringAllgather(e.Bytes)
 	case trace.OpAlltoall:
@@ -102,7 +102,7 @@ func (c *collCtx) world(pos int) int32 { return c.members[pos] }
 // 0), isend (if sendTo ≥ 0), then a wait on both. Positions are member
 // positions; -1 skips that side.
 func (c *collCtx) sendRecv(sendTo int, sendBytes int64, recvFrom int, recvBytes int64) {
-	var reqs []int32
+	reqs := c.lw.scratch[:0]
 	if recvFrom >= 0 {
 		req := c.lw.synth(c.rank)
 		c.lw.emit(c.rank, rop{kind: ropIrecv, peer: c.world(recvFrom), tag: c.tag, bytes: recvBytes, req: req, ev: c.ev})
@@ -113,6 +113,7 @@ func (c *collCtx) sendRecv(sendTo int, sendBytes int64, recvFrom int, recvBytes 
 		c.lw.emit(c.rank, rop{kind: ropIsend, peer: c.world(sendTo), tag: c.tag, bytes: sendBytes, req: req, ev: c.ev})
 		reqs = append(reqs, req)
 	}
+	c.lw.scratch = reqs
 	if len(reqs) > 0 {
 		c.lw.emit(c.rank, rop{kind: ropWait, reqs: reqs, ev: c.ev})
 	}
@@ -290,7 +291,7 @@ func alltoallvAvg(tbl [][]int64, pos, n int) int64 {
 // spread over destinations), then wait for everything. No round
 // barriers, so transfers overlap freely.
 func (c *collCtx) scatteredAlltoall(bytes int64) {
-	var reqs []int32
+	reqs := c.lw.scratch[:0]
 	for k := 1; k < c.n; k++ {
 		from := (c.pos - k + c.n) % c.n
 		req := c.lw.synth(c.rank)
@@ -303,12 +304,13 @@ func (c *collCtx) scatteredAlltoall(bytes int64) {
 		c.lw.emit(c.rank, rop{kind: ropIsend, peer: c.world(to), tag: c.tag, bytes: bytes, req: req, ev: c.ev})
 		reqs = append(reqs, req)
 	}
+	c.lw.scratch = reqs
 	c.lw.emit(c.rank, rop{kind: ropWait, reqs: reqs, ev: c.ev})
 }
 
 // scatteredAlltoallv is scatteredAlltoall with per-peer payloads.
 func (c *collCtx) scatteredAlltoallv(tbl [][]int64) {
-	var reqs []int32
+	reqs := c.lw.scratch[:0]
 	for k := 1; k < c.n; k++ {
 		from := (c.pos - k + c.n) % c.n
 		var b int64
@@ -329,6 +331,7 @@ func (c *collCtx) scatteredAlltoallv(tbl [][]int64) {
 		c.lw.emit(c.rank, rop{kind: ropIsend, peer: c.world(to), tag: c.tag, bytes: b, req: req, ev: c.ev})
 		reqs = append(reqs, req)
 	}
+	c.lw.scratch = reqs
 	c.lw.emit(c.rank, rop{kind: ropWait, reqs: reqs, ev: c.ev})
 }
 

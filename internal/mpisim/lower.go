@@ -11,9 +11,31 @@ import (
 const collTagBase int32 = 1 << 20
 
 // lowerer accumulates per-rank replay programs while walking a trace.
+//
+// Lowering runs twice over the same logic: a counting pass sizes every
+// per-rank program and wait-set arena, then a fill pass writes rops
+// into exactly-sized flat arenas. Replay is run once per (trace, model,
+// config) tuple across the campaign, so the slice-doubling garbage a
+// single append-driven pass would leave behind is a per-replay cost
+// worth two cheap walks to avoid: after the fill pass the whole
+// program is two allocations (rop arena + wait-set arena) per trace.
 type lowerer struct {
-	tr      *trace.Trace
-	out     [][]rop
+	src      trace.Source
+	comms    *trace.CommTable
+	counting bool
+
+	// Counting pass outputs.
+	nOps  []int // rops per rank
+	nReqs []int // wait-set ints per rank
+
+	// Fill pass state: exactly-sized per-rank views into shared arenas.
+	out      [][]rop
+	used     []int
+	reqsOut  [][]int32
+	reqsUsed []int
+
+	scratch []int32 // transient wait-set buffer, owned until the emit
+
 	nextReq []int32 // per-rank fresh request ids
 	reqMap  []map[int32]int32
 }
@@ -22,13 +44,16 @@ type lowerer struct {
 // point-to-point and compute events copy through (with requests
 // renumbered into a fresh namespace), and every collective expands into
 // the point-to-point rounds of its algorithm.
-func lower(tr *trace.Trace) (*program, error) {
-	n := tr.Meta.NumRanks
+func lower(src trace.Source) (*program, error) {
+	n := src.TraceMeta().NumRanks
 	lw := &lowerer{
-		tr:      tr,
-		out:     make([][]rop, n),
-		nextReq: make([]int32, n),
-		reqMap:  make([]map[int32]int32, n),
+		src:      src,
+		comms:    src.TraceComms(),
+		counting: true,
+		nOps:     make([]int, n),
+		nReqs:    make([]int, n),
+		nextReq:  make([]int32, n),
+		reqMap:   make([]map[int32]int32, n),
 	}
 	for r := range lw.reqMap {
 		lw.reqMap[r] = make(map[int32]int32)
@@ -36,14 +61,59 @@ func lower(tr *trace.Trace) (*program, error) {
 
 	// Index alltoallv events by (comm, instance) so every member can
 	// see every other member's send counts.
-	vIndex := buildAlltoallvIndex(tr)
+	vIndex := buildAlltoallvIndex(src)
+
+	if err := lw.pass(vIndex); err != nil {
+		return nil, err
+	}
+
+	// Size the arenas from the counting pass and run again, filling.
+	totalOps, totalReqs := 0, 0
+	for r := 0; r < n; r++ {
+		totalOps += lw.nOps[r]
+		totalReqs += lw.nReqs[r]
+	}
+	opArena := make([]rop, totalOps)
+	reqArena := make([]int32, totalReqs)
+	lw.out = make([][]rop, n)
+	lw.used = make([]int, n)
+	lw.reqsOut = make([][]int32, n)
+	lw.reqsUsed = make([]int, n)
+	for r, opOff, reqOff := 0, 0, 0; r < n; r++ {
+		lw.out[r] = opArena[opOff : opOff+lw.nOps[r] : opOff+lw.nOps[r]]
+		lw.reqsOut[r] = reqArena[reqOff : reqOff+lw.nReqs[r] : reqOff+lw.nReqs[r]]
+		opOff += lw.nOps[r]
+		reqOff += lw.nReqs[r]
+	}
+	lw.counting = false
+	for r := range lw.reqMap {
+		clear(lw.reqMap[r])
+		lw.nextReq[r] = 0
+	}
+	if err := lw.pass(vIndex); err != nil {
+		return nil, err
+	}
 
 	evCount := make([]int, n)
+	reqCount := make([]int32, n)
+	for r := 0; r < n; r++ {
+		evCount[r] = src.RankLen(r)
+		reqCount[r] = lw.nextReq[r]
+	}
+	return &program{ops: lw.out, evCount: evCount, reqCount: reqCount}, nil
+}
+
+// pass walks every rank's event stream once, emitting (or counting)
+// the lowered program.
+func (lw *lowerer) pass(vIndex map[vKey][][]int64) error {
+	n := lw.src.TraceMeta().NumRanks
+	collSeq := make([]int, lw.comms.Len())
+	var e trace.Event
 	for rank := 0; rank < n; rank++ {
-		evCount[rank] = len(tr.Ranks[rank])
-		collSeq := make(map[trace.CommID]int)
-		for i := range tr.Ranks[rank] {
-			e := &tr.Ranks[rank][i]
+		clear(collSeq)
+		m := lw.src.RankLen(rank)
+		for i := 0; i < m; i++ {
+			lw.src.EventAt(rank, i, &e)
 			ev := int32(i)
 			switch e.Op {
 			case trace.OpCompute:
@@ -59,36 +129,56 @@ func lower(tr *trace.Trace) (*program, error) {
 			case trace.OpWait:
 				id, err := lw.lookup(rank, i, e.Req)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				lw.emit(rank, rop{kind: ropWait, reqs: []int32{id}, ev: ev})
+				lw.scratch = append(lw.scratch[:0], id)
+				lw.emit(rank, rop{kind: ropWait, reqs: lw.scratch, ev: ev})
 			case trace.OpWaitall:
-				reqs := make([]int32, len(e.Reqs))
-				for j, r := range e.Reqs {
+				lw.scratch = lw.scratch[:0]
+				for _, r := range e.Reqs {
 					id, err := lw.lookup(rank, i, r)
 					if err != nil {
-						return nil, err
+						return err
 					}
-					reqs[j] = id
+					lw.scratch = append(lw.scratch, id)
 				}
-				lw.emit(rank, rop{kind: ropWait, reqs: reqs, ev: ev})
+				lw.emit(rank, rop{kind: ropWait, reqs: lw.scratch, ev: ev})
 			default:
 				if !e.Op.IsCollective() {
-					return nil, fmt.Errorf("mpisim: rank %d event %d: unsupported op %v", rank, i, e.Op)
+					return fmt.Errorf("mpisim: rank %d event %d: unsupported op %v", rank, i, e.Op)
+				}
+				if int(e.Comm) < 0 || int(e.Comm) >= len(collSeq) {
+					return fmt.Errorf("mpisim: rank %d event %d: comm %d out of range", rank, i, e.Comm)
 				}
 				seq := collSeq[e.Comm]
 				collSeq[e.Comm]++
-				if err := lw.lowerCollective(rank, e, ev, seq, vIndex); err != nil {
-					return nil, err
+				if err := lw.lowerCollective(rank, &e, ev, seq, vIndex); err != nil {
+					return err
 				}
 			}
 		}
 	}
-	return &program{ops: lw.out, evCount: evCount}, nil
+	return nil
 }
 
+// emit appends op to rank's program (or just counts it). op.reqs is
+// only read during the call: the fill pass copies it into the wait-set
+// arena, so callers may pass a reused scratch buffer.
 func (lw *lowerer) emit(rank int, op rop) {
-	lw.out[rank] = append(lw.out[rank], op)
+	if lw.counting {
+		lw.nOps[rank]++
+		lw.nReqs[rank] += len(op.reqs)
+		return
+	}
+	if len(op.reqs) > 0 {
+		start := lw.reqsUsed[rank]
+		end := start + len(op.reqs)
+		copy(lw.reqsOut[rank][start:end], op.reqs)
+		op.reqs = lw.reqsOut[rank][start:end:end]
+		lw.reqsUsed[rank] = end
+	}
+	lw.out[rank][lw.used[rank]] = op
+	lw.used[rank]++
 }
 
 // fresh allocates a new request id for rank and records the mapping
@@ -127,14 +217,20 @@ type vKey struct {
 }
 
 // buildAlltoallvIndex maps (comm, per-comm alltoallv instance) to the
-// per-member SendBytes tables, indexed by member position.
-func buildAlltoallvIndex(tr *trace.Trace) map[vKey][][]int64 {
-	idx := make(map[vKey][][]int64)
-	for rank := range tr.Ranks {
-		counts := make(map[trace.CommID]int)
-		for i := range tr.Ranks[rank] {
-			e := &tr.Ranks[rank][i]
-			if !e.Op.IsCollective() {
+// per-member SendBytes tables, indexed by member position. The tables
+// alias the trace's backing storage and are read-only.
+func buildAlltoallvIndex(src trace.Source) map[vKey][][]int64 {
+	var idx map[vKey][][]int64 // most traces have none; allocate lazily
+	comms := src.TraceComms()
+	n := src.TraceMeta().NumRanks
+	counts := make([]int, comms.Len())
+	var e trace.Event
+	for rank := 0; rank < n; rank++ {
+		clear(counts)
+		m := src.RankLen(rank)
+		for i := 0; i < m; i++ {
+			src.EventAt(rank, i, &e)
+			if !e.Op.IsCollective() || int(e.Comm) < 0 || int(e.Comm) >= len(counts) {
 				continue
 			}
 			seq := counts[e.Comm]
@@ -142,13 +238,16 @@ func buildAlltoallvIndex(tr *trace.Trace) map[vKey][][]int64 {
 			if e.Op != trace.OpAlltoallv {
 				continue
 			}
+			if idx == nil {
+				idx = make(map[vKey][][]int64)
+			}
 			k := vKey{e.Comm, seq}
 			tbl := idx[k]
 			if tbl == nil {
-				tbl = make([][]int64, tr.Comms.Size(e.Comm))
+				tbl = make([][]int64, comms.Size(e.Comm))
 				idx[k] = tbl
 			}
-			pos := tr.Comms.Position(e.Comm, int32(rank))
+			pos := comms.Position(e.Comm, int32(rank))
 			tbl[pos] = e.SendBytes
 		}
 	}

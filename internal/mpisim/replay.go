@@ -100,13 +100,22 @@ type Result struct {
 // Replay runs tr through the given network model on machine mach and
 // returns predictions. The trace must be valid (trace.Validate).
 func Replay(tr *trace.Trace, model simnet.Model, mach *machine.Config, netCfg simnet.Config, opts Options) (*Result, error) {
-	if !simnet.Supports(model, tr.Meta.UsesCommSplit, tr.Meta.UsesThreadMultiple) {
-		return nil, fmt.Errorf("%w: %s on %s", simnet.ErrUnsupportedTrace, model, tr.Meta.ID())
+	return ReplaySource(tr, model, mach, netCfg, opts)
+}
+
+// ReplaySource is Replay over any trace representation: the replay
+// walks src through the Source access path only, so array-of-structs
+// and columnar traces replay identically (and, by the determinism
+// contract, bit-identically).
+func ReplaySource(src trace.Source, model simnet.Model, mach *machine.Config, netCfg simnet.Config, opts Options) (*Result, error) {
+	meta := src.TraceMeta()
+	if !simnet.Supports(model, meta.UsesCommSplit, meta.UsesThreadMultiple) {
+		return nil, fmt.Errorf("%w: %s on %s", simnet.ErrUnsupportedTrace, model, meta.ID())
 	}
-	if len(mach.NodeOf) < tr.Meta.NumRanks {
-		return nil, fmt.Errorf("mpisim: machine hosts %d ranks, trace has %d", len(mach.NodeOf), tr.Meta.NumRanks)
+	if len(mach.NodeOf) < meta.NumRanks {
+		return nil, fmt.Errorf("mpisim: machine hosts %d ranks, trace has %d", len(mach.NodeOf), meta.NumRanks)
 	}
-	prog, err := lower(tr)
+	prog, err := lower(src)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +128,7 @@ func Replay(tr *trace.Trace, model simnet.Model, mach *machine.Config, netCfg si
 		eng:  eng,
 		net:  net,
 		mach: mach,
-		tr:   tr,
+		src:  src,
 		opts: opts,
 	}
 	if d.opts.CompScale == 0 {
@@ -133,7 +142,7 @@ func Replay(tr *trace.Trace, model simnet.Model, mach *machine.Config, netCfg si
 	// truncated run always looks deadlocked.
 	if err := eng.Err(); err != nil {
 		return nil, fmt.Errorf("mpisim: replay of %s on %s aborted after %d events: %w",
-			tr.Meta.ID(), model, eng.Steps(), err)
+			meta.ID(), model, eng.Steps(), err)
 	}
 	if err := d.checkFinished(); err != nil {
 		return nil, err
@@ -145,7 +154,7 @@ func Replay(tr *trace.Trace, model simnet.Model, mach *machine.Config, netCfg si
 	for _, c := range d.rankComm {
 		comm += c
 	}
-	n := simtime.Time(max(1, tr.Meta.NumRanks))
+	n := simtime.Time(max(1, meta.NumRanks))
 	var total simtime.Time
 	for _, f := range d.finish {
 		total = simtime.Max(total, f)
@@ -188,23 +197,34 @@ type channel struct {
 }
 
 type rankState struct {
-	id      int32
-	ops     []rop
-	pc      int
-	done    map[int32]bool // requests completed before being waited on
-	waiting map[int32]bool // requests the current wait still needs
+	id  int32
+	ops []rop
+	pc  int
+	// Request state is tracked in flat arrays indexed by the replay
+	// request id (lowering renumbers densely from 0): done marks
+	// requests completed before being waited on, waiting the requests
+	// the current wait still needs, nwait how many of those remain.
+	done    []bool
+	waiting []bool
+	nwait   int
 	opStart simtime.Time
 	waitEv  int32 // event of the wait currently blocking, for exit recording
 	blocked bool
 	finish  simtime.Time
 	fin     bool
+	// Pre-bound continuations, reused for every op when the replay is
+	// not recording timestamps (markExit is a no-op then, so the
+	// continuation does not depend on the event index). They keep the
+	// hot path from minting a fresh closure per replayed event.
+	advanceFn func()
+	resumeFn  func()
 }
 
 type driver struct {
 	eng  *des.Engine
 	net  simnet.Network
 	mach *machine.Config
-	tr   *trace.Trace
+	src  trace.Source
 	opts Options
 
 	ranks         []*rankState
@@ -219,7 +239,7 @@ type driver struct {
 }
 
 func (d *driver) run(prog *program) {
-	n := d.tr.Meta.NumRanks
+	n := d.src.TraceMeta().NumRanks
 	d.ranks = make([]*rankState, n)
 	d.chans = make(map[chanKey]*channel)
 	d.rankComm = make([]simtime.Time, n)
@@ -235,19 +255,36 @@ func (d *driver) run(prog *program) {
 			}
 		}
 	}
-	for r := 0; r < n; r++ {
-		d.ranks[r] = &rankState{
+	// One arena backs every rank's request-state flags.
+	var totalReqs int32
+	for _, c := range prog.reqCount {
+		totalReqs += c
+	}
+	flags := make([]bool, 2*totalReqs)
+	for r, off := 0, int32(0); r < n; r++ {
+		c := prog.reqCount[r]
+		rs := &rankState{
 			id:      int32(r),
 			ops:     prog.ops[r],
-			done:    make(map[int32]bool),
-			waiting: make(map[int32]bool),
+			done:    flags[off : off+c : off+c],
+			waiting: flags[off+c : off+2*c : off+2*c],
 		}
+		off += 2 * c
+		if !d.opts.Record {
+			rs.advanceFn = func() { d.advance(rs) }
+			rs.resumeFn = func() { d.resume(rs, rs.waitEv) }
+		}
+		d.ranks[r] = rs
 	}
 	for _, rs := range d.ranks {
-		rs := rs
-		d.eng.At(0, func() { d.advance(rs) })
+		if rs.advanceFn != nil {
+			d.eng.At(0, rs.advanceFn)
+		} else {
+			rs := rs
+			d.eng.At(0, func() { d.advance(rs) })
+		}
 	}
-	if bg := d.opts.Background; bg != nil && bg.Sources > 0 && d.tr.Meta.NumRanks >= 2 {
+	if bg := d.opts.Background; bg != nil && bg.Sources > 0 && n >= 2 {
 		for s := 0; s < bg.Sources; s++ {
 			d.scheduleBackground(bg, uint64(s), 0)
 		}
@@ -262,7 +299,7 @@ func (d *driver) scheduleBackground(bg *Background, source, round uint64) {
 	if d.finishedRanks >= len(d.ranks) {
 		return // the application is done; stop injecting
 	}
-	n := uint64(d.tr.Meta.NumRanks)
+	n := uint64(len(d.ranks))
 	h := bgHash(uint64(bg.Seed), source, round)
 	src := int32(h % n)
 	dst := int32((h >> 20) % n)
@@ -331,18 +368,27 @@ func (d *driver) advance(rs *rankState) {
 			if d.opts.Perturb != nil {
 				dur = d.opts.Perturb.Compute(rs.id, op.ev, dur)
 			}
-			ev := op.ev
 			rs.pc++
-			d.eng.After(dur, func() {
-				d.markExit(rs, ev)
-				d.advance(rs)
-			})
+			if rs.advanceFn != nil {
+				d.eng.After(dur, rs.advanceFn)
+			} else {
+				ev := op.ev
+				d.eng.After(dur, func() {
+					d.markExit(rs, ev)
+					d.advance(rs)
+				})
+			}
 			return
 
 		case ropSend:
 			rs.opStart = now
 			rs.blocked = true
-			d.postSend(rs, op, func() { d.resume(rs, op.ev) })
+			rs.waitEv = op.ev
+			if rs.resumeFn != nil {
+				d.postSend(rs, op, rs.resumeFn)
+			} else {
+				d.postSend(rs, op, func() { d.resume(rs, op.ev) })
+			}
 			return
 
 		case ropIsend:
@@ -354,7 +400,12 @@ func (d *driver) advance(rs *rankState) {
 		case ropRecv:
 			rs.opStart = now
 			rs.blocked = true
-			d.postRecv(rs, op, func() { d.resume(rs, op.ev) })
+			rs.waitEv = op.ev
+			if rs.resumeFn != nil {
+				d.postRecv(rs, op, rs.resumeFn)
+			} else {
+				d.postRecv(rs, op, func() { d.resume(rs, op.ev) })
+			}
 			return
 
 		case ropIrecv:
@@ -367,7 +418,7 @@ func (d *driver) advance(rs *rankState) {
 			outstanding := 0
 			for _, q := range op.reqs {
 				if rs.done[q] {
-					delete(rs.done, q)
+					rs.done[q] = false
 				} else {
 					rs.waiting[q] = true
 					outstanding++
@@ -377,6 +428,7 @@ func (d *driver) advance(rs *rankState) {
 				d.stepOverhead(rs, op.ev)
 				return
 			}
+			rs.nwait = outstanding
 			rs.opStart = now
 			rs.blocked = true
 			// resume happens in completeReq when the set drains
@@ -396,6 +448,10 @@ func (d *driver) stepOverhead(rs *rankState, ev int32) {
 	o := d.overhead(rs.id)
 	d.rankComm[rs.id] += o
 	rs.pc++
+	if rs.advanceFn != nil {
+		d.eng.After(o, rs.advanceFn)
+		return
+	}
 	d.eng.After(o, func() {
 		d.markExit(rs, ev)
 		d.advance(rs)
@@ -423,8 +479,9 @@ func (d *driver) resume(rs *rankState, ev int32) {
 // that drains, it resumes.
 func (d *driver) completeReq(rs *rankState, req int32) {
 	if rs.waiting[req] {
-		delete(rs.waiting, req)
-		if len(rs.waiting) == 0 && rs.blocked {
+		rs.waiting[req] = false
+		rs.nwait--
+		if rs.nwait == 0 && rs.blocked {
 			d.resume(rs, rs.waitEv)
 		}
 		return
@@ -519,10 +576,9 @@ func (d *driver) completeRecv(rv *recvRec) {
 
 // writeBack stamps the replayed entry/exit times into the trace.
 func (d *driver) writeBack() {
-	for r := range d.tr.Ranks {
-		evs := d.tr.Ranks[r]
+	for r := range d.entry {
 		cursor := simtime.Time(0)
-		for i := range evs {
+		for i := range d.entry[r] {
 			en, ex := d.entry[r][i], d.exit[r][i]
 			if en < 0 {
 				// Event never started (cannot happen after a finished
@@ -535,7 +591,7 @@ func (d *driver) writeBack() {
 			if ex < en {
 				ex = en
 			}
-			evs[i].Entry, evs[i].Exit = en, ex
+			d.src.SetEventTimes(r, i, en, ex)
 			cursor = ex
 		}
 	}

@@ -44,10 +44,15 @@ type rop struct {
 	ev    int32        // index of the originating event in the rank's trace stream
 }
 
-// program is the fully lowered per-rank replay program.
+// program is the fully lowered per-rank replay program. All per-rank
+// op slices view one shared arena, as do the wait request sets.
 type program struct {
 	ops [][]rop
 	// evCount[r] is the number of original events on rank r (for
 	// timestamp write-back).
 	evCount []int
+	// reqCount[r] is the number of replay request ids rank r uses.
+	// Lowering renumbers requests densely from 0, so the driver tracks
+	// request state in flat arrays instead of maps.
+	reqCount []int32
 }

@@ -11,123 +11,234 @@ import (
 	"hpctradeoff/internal/simtime"
 )
 
-// Binary trace format ("HTRC"): a compact varint-based encoding in the
-// spirit of DUMPI's binary record stream. Layout:
+// Binary trace formats ("HTRC"): compact varint-based encodings in the
+// spirit of DUMPI's binary record stream.
 //
-//	magic "HTRC", version uvarint
-//	meta: strings (uvarint len + bytes), uvarints, flag byte
-//	comm table: count, then per-comm member count + delta-coded members
-//	per rank: event count, then per-event field stream
+// Version 1 (array-of-structs): per rank, an event count followed by a
+// per-event field stream — one op byte, delta-coded times, then the
+// op's fields.
+//
+// Version 2 (columnar): per rank, an event count followed by
+// length-prefixed column blocks — the op column raw, the time column
+// delta-coded, then one block per field family (point-to-point, wait,
+// collective, alltoallv), each holding only the rows whose ops use it.
+// The layout mirrors the in-memory Columns store, so encode and decode
+// move column arrays directly instead of running a per-event
+// switch-and-build loop, and a reader can skip a block it does not
+// need by its length prefix.
+//
+// Both versions share the header (meta + communicator table); Read and
+// ReadColumns each accept either version, converting as needed.
 //
 // Times are delta-coded per rank (Entry relative to previous Exit,
 // Exit relative to Entry) so long traces stay small.
 
 const (
-	binaryMagic   = "HTRC"
-	binaryVersion = 1
+	binaryMagic           = "HTRC"
+	binaryVersion         = 1
+	binaryVersionColumnar = 2
+
+	maxRanks      = 1 << 24
+	maxRankEvents = 1 << 30
+	maxBlockBytes = 1 << 31
 )
 
 // ErrBadFormat reports a malformed or truncated binary trace stream.
 var ErrBadFormat = errors.New("trace: bad binary format")
 
-// Write encodes t in the binary trace format.
-func Write(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	var buf []byte
-	put := func(v uint64) { buf = binary.AppendUvarint(buf[:0], v); bw.Write(buf) }
-	putI := func(v int64) { buf = binary.AppendVarint(buf[:0], v); bw.Write(buf) }
-	putS := func(s string) { put(uint64(len(s))); bw.WriteString(s) }
+// encoder buffers varint encoding over a bufio.Writer.
+type encoder struct {
+	bw  *bufio.Writer
+	buf []byte
+}
 
-	bw.WriteString(binaryMagic)
-	put(binaryVersion)
+func (e *encoder) put(v uint64)  { e.buf = binary.AppendUvarint(e.buf[:0], v); e.bw.Write(e.buf) }
+func (e *encoder) putI(v int64)  { e.buf = binary.AppendVarint(e.buf[:0], v); e.bw.Write(e.buf) }
+func (e *encoder) putS(s string) { e.put(uint64(len(s))); e.bw.WriteString(s) }
 
-	putS(t.Meta.App)
-	putS(t.Meta.Class)
-	putS(t.Meta.Machine)
-	put(uint64(t.Meta.NumRanks))
-	put(uint64(t.Meta.RanksPerNode))
-	putI(t.Meta.Seed)
+func writeMetaComms(e *encoder, meta Meta, comms *CommTable) {
+	e.putS(meta.App)
+	e.putS(meta.Class)
+	e.putS(meta.Machine)
+	e.put(uint64(meta.NumRanks))
+	e.put(uint64(meta.RanksPerNode))
+	e.putI(meta.Seed)
 	var flags byte
-	if t.Meta.UsesCommSplit {
+	if meta.UsesCommSplit {
 		flags |= 1
 	}
-	if t.Meta.UsesThreadMultiple {
+	if meta.UsesThreadMultiple {
 		flags |= 2
 	}
-	bw.WriteByte(flags)
+	e.bw.WriteByte(flags)
 
-	put(uint64(t.Comms.Len()))
-	for c := 0; c < t.Comms.Len(); c++ {
-		members := t.Comms.Members(CommID(c))
-		put(uint64(len(members)))
+	e.put(uint64(comms.Len()))
+	for c := 0; c < comms.Len(); c++ {
+		members := comms.Members(CommID(c))
+		e.put(uint64(len(members)))
 		prev := int32(0)
 		for _, m := range members {
-			putI(int64(m - prev)) // delta; first is absolute from 0
+			e.putI(int64(m - prev)) // delta; first is absolute from 0
 			prev = m
 		}
 	}
+}
 
+// Write encodes t in the version-1 (array-of-structs) binary format.
+func Write(w io.Writer, t *Trace) error {
 	if len(t.Ranks) != t.Meta.NumRanks {
 		return fmt.Errorf("trace: %d rank streams but meta says %d ranks",
 			len(t.Ranks), t.Meta.NumRanks)
 	}
+	e := &encoder{bw: bufio.NewWriterSize(w, 1<<16)}
+	e.bw.WriteString(binaryMagic)
+	e.put(binaryVersion)
+	writeMetaComms(e, t.Meta, &t.Comms)
+
 	for _, evs := range t.Ranks {
-		put(uint64(len(evs)))
+		e.put(uint64(len(evs)))
 		var cursor simtime.Time
 		for i := range evs {
-			e := &evs[i]
-			bw.WriteByte(byte(e.Op))
-			putI(int64(e.Entry - cursor))
-			putI(int64(e.Exit - e.Entry))
-			cursor = e.Exit
+			ev := &evs[i]
+			e.bw.WriteByte(byte(ev.Op))
+			e.putI(int64(ev.Entry - cursor))
+			e.putI(int64(ev.Exit - ev.Entry))
+			cursor = ev.Exit
 			switch {
-			case e.Op == OpCompute:
+			case ev.Op == OpCompute:
 				// Times only.
-			case e.Op.IsP2P():
-				putI(int64(e.Peer))
-				putI(int64(e.Tag))
-				put(uint64(e.Bytes))
-				putI(int64(e.Comm))
-				putI(int64(e.Req))
-			case e.Op == OpWait:
-				putI(int64(e.Req))
-			case e.Op == OpWaitall:
-				put(uint64(len(e.Reqs)))
-				for _, r := range e.Reqs {
-					putI(int64(r))
+			case ev.Op.IsP2P():
+				e.putI(int64(ev.Peer))
+				e.putI(int64(ev.Tag))
+				e.put(uint64(ev.Bytes))
+				e.putI(int64(ev.Comm))
+				e.putI(int64(ev.Req))
+			case ev.Op == OpWait:
+				e.putI(int64(ev.Req))
+			case ev.Op == OpWaitall:
+				e.put(uint64(len(ev.Reqs)))
+				for _, r := range ev.Reqs {
+					e.putI(int64(r))
 				}
-			case e.Op == OpAlltoallv:
-				putI(int64(e.Comm))
-				put(uint64(len(e.SendBytes)))
-				for _, b := range e.SendBytes {
-					put(uint64(b))
+			case ev.Op == OpAlltoallv:
+				e.putI(int64(ev.Comm))
+				e.put(uint64(len(ev.SendBytes)))
+				for _, b := range ev.SendBytes {
+					e.put(uint64(b))
 				}
 			default: // remaining collectives
-				putI(int64(e.Comm))
-				putI(int64(e.Root))
-				put(uint64(e.Bytes))
+				e.putI(int64(ev.Comm))
+				e.putI(int64(ev.Root))
+				e.put(uint64(ev.Bytes))
 			}
 		}
 	}
-	return bw.Flush()
+	return e.bw.Flush()
 }
 
-// Read decodes a binary trace written by Write.
-func Read(r io.Reader) (*Trace, error) {
+// WriteColumns encodes c in the version-2 columnar binary format.
+func WriteColumns(w io.Writer, c *Columns) error {
+	e := &encoder{bw: bufio.NewWriterSize(w, 1<<16)}
+	e.bw.WriteString(binaryMagic)
+	e.put(binaryVersionColumnar)
+	writeMetaComms(e, c.Meta, &c.Comms)
+
+	var block []byte // reused scratch for one column block at a time
+	flush := func() {
+		e.put(uint64(len(block)))
+		e.bw.Write(block)
+		block = block[:0]
+	}
+	for r := range c.ranks {
+		rc := &c.ranks[r]
+		n := len(rc.op)
+		e.put(uint64(n))
+		if n == 0 {
+			continue
+		}
+		// Op column, raw.
+		for _, op := range rc.op {
+			block = append(block, byte(op))
+		}
+		flush()
+		// Time column, delta-coded (dEntry from previous exit, dExit
+		// from entry).
+		var cursor simtime.Time
+		for i := 0; i < n; i++ {
+			block = binary.AppendVarint(block, int64(rc.entry[i]-cursor))
+			block = binary.AppendVarint(block, int64(rc.exit[i]-rc.entry[i]))
+			cursor = rc.exit[i]
+		}
+		flush()
+		// Point-to-point block: peer, tag, bytes, comm, req.
+		for i := 0; i < n; i++ {
+			if rc.op[i].IsP2P() {
+				block = binary.AppendVarint(block, int64(rc.peer[i]))
+				block = binary.AppendVarint(block, int64(rc.tag[i]))
+				block = binary.AppendUvarint(block, uint64(rc.bytes[i]))
+				block = binary.AppendVarint(block, int64(rc.comm[i]))
+				block = binary.AppendVarint(block, int64(rc.req[i]))
+			}
+		}
+		flush()
+		// Wait block: wait reqs and waitall request sets.
+		for i := 0; i < n; i++ {
+			switch rc.op[i] {
+			case OpWait:
+				block = binary.AppendVarint(block, int64(rc.req[i]))
+			case OpWaitall:
+				set := rc.reqArena[rc.auxOff[i] : rc.auxOff[i]+rc.auxLen[i]]
+				block = binary.AppendUvarint(block, uint64(len(set)))
+				for _, q := range set {
+					block = binary.AppendVarint(block, int64(q))
+				}
+			}
+		}
+		flush()
+		// Collective block (all but alltoallv): comm, root, bytes.
+		for i := 0; i < n; i++ {
+			if rc.op[i].IsCollective() && rc.op[i] != OpAlltoallv {
+				block = binary.AppendVarint(block, int64(rc.comm[i]))
+				block = binary.AppendVarint(block, int64(rc.root[i]))
+				block = binary.AppendUvarint(block, uint64(rc.bytes[i]))
+			}
+		}
+		flush()
+		// Alltoallv block: comm plus the per-member send table.
+		for i := 0; i < n; i++ {
+			if rc.op[i] == OpAlltoallv {
+				block = binary.AppendVarint(block, int64(rc.comm[i]))
+				tbl := rc.sbArena[rc.auxOff[i] : rc.auxOff[i]+rc.auxLen[i]]
+				block = binary.AppendUvarint(block, uint64(len(tbl)))
+				for _, b := range tbl {
+					block = binary.AppendUvarint(block, uint64(b))
+				}
+			}
+		}
+		flush()
+	}
+	return e.bw.Flush()
+}
+
+// readHeader consumes magic, version, meta, and the communicator
+// table; both Read and ReadColumns start here.
+func readHeader(r io.Reader) (*decoder, int, Meta, CommTable, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(binaryMagic))
+	var meta Meta
+	var ct CommTable
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
+		return nil, 0, meta, ct, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+		return nil, 0, meta, ct, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
 	}
 	d := &decoder{br: br}
-	if v := d.uvarint(); v != binaryVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	version := int(d.uvarint())
+	if d.err != nil || (version != binaryVersion && version != binaryVersionColumnar) {
+		return nil, 0, meta, ct, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
 	}
 
-	var meta Meta
 	meta.App = d.str()
 	meta.Class = d.str()
 	meta.Machine = d.str()
@@ -138,22 +249,21 @@ func Read(r io.Reader) (*Trace, error) {
 	meta.UsesCommSplit = flags&1 != 0
 	meta.UsesThreadMultiple = flags&2 != 0
 	if d.err != nil {
-		return nil, d.fail("meta")
+		return nil, 0, meta, ct, d.fail("meta")
 	}
-	const maxRanks = 1 << 24
 	if meta.NumRanks < 0 || meta.NumRanks > maxRanks {
-		return nil, fmt.Errorf("%w: implausible rank count %d", ErrBadFormat, meta.NumRanks)
+		return nil, 0, meta, ct, fmt.Errorf("%w: implausible rank count %d", ErrBadFormat, meta.NumRanks)
 	}
 
-	t := New(meta)
+	ct = NewCommTable(meta.NumRanks)
 	nComms := int(d.uvarint())
 	if d.err != nil || nComms < 1 || nComms > maxRanks {
-		return nil, d.fail("comm table")
+		return nil, 0, meta, ct, d.fail("comm table")
 	}
 	for c := 0; c < nComms; c++ {
 		n := int(d.uvarint())
 		if d.err != nil || n < 0 || n > meta.NumRanks {
-			return nil, d.fail("comm members")
+			return nil, 0, meta, ct, d.fail("comm members")
 		}
 		members := make([]int32, n)
 		prev := int32(0)
@@ -161,15 +271,64 @@ func Read(r io.Reader) (*Trace, error) {
 			prev += int32(d.varint())
 			members[i] = prev
 		}
-		if c > 0 { // world is implicit in New
-			t.Comms.Add(members)
+		if c > 0 { // world is implicit
+			ct.Add(members)
 		}
 	}
+	if d.err != nil {
+		return nil, 0, meta, ct, d.fail("comm table")
+	}
+	return d, version, meta, ct, nil
+}
 
+// Read decodes a binary trace written by Write or WriteColumns into
+// array-of-structs form (columnar input is materialized).
+func Read(r io.Reader) (*Trace, error) {
+	d, version, meta, ct, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if version == binaryVersionColumnar {
+		c := &Columns{Meta: meta, Comms: ct, ranks: make([]rankCols, meta.NumRanks)}
+		if err := readColumnarBody(d, c); err != nil {
+			return nil, err
+		}
+		return c.Materialize(), nil
+	}
+	t := &Trace{Meta: meta, Comms: ct, Ranks: make([][]Event, meta.NumRanks)}
+	if err := readV1Body(d, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadColumns decodes a binary trace written by Write or WriteColumns
+// into columnar form (version-1 input is columnarized).
+func ReadColumns(r io.Reader) (*Columns, error) {
+	d, version, meta, ct, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if version == binaryVersion {
+		t := &Trace{Meta: meta, Comms: ct, Ranks: make([][]Event, meta.NumRanks)}
+		if err := readV1Body(d, t); err != nil {
+			return nil, err
+		}
+		return FromTrace(t), nil
+	}
+	c := &Columns{Meta: meta, Comms: ct, ranks: make([]rankCols, meta.NumRanks)}
+	if err := readColumnarBody(d, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func readV1Body(d *decoder, t *Trace) error {
+	meta := t.Meta
 	for rank := 0; rank < meta.NumRanks; rank++ {
 		n := int(d.uvarint())
-		if d.err != nil || n < 0 {
-			return nil, d.fail("event count")
+		if d.err != nil || n < 0 || n > maxRankEvents {
+			return d.fail("event count")
 		}
 		evs := make([]Event, n)
 		var cursor simtime.Time
@@ -177,7 +336,7 @@ func Read(r io.Reader) (*Trace, error) {
 			e := &evs[i]
 			e.Op = Op(d.byte())
 			if !e.Op.Valid() {
-				return nil, fmt.Errorf("%w: rank %d event %d: bad op", ErrBadFormat, rank, i)
+				return fmt.Errorf("%w: rank %d event %d: bad op", ErrBadFormat, rank, i)
 			}
 			e.Entry = cursor + simtime.Time(d.varint())
 			e.Exit = e.Entry + simtime.Time(d.varint())
@@ -196,7 +355,7 @@ func Read(r io.Reader) (*Trace, error) {
 			case e.Op == OpWaitall:
 				k := int(d.uvarint())
 				if d.err != nil || k < 0 || k > math.MaxInt32 {
-					return nil, d.fail("waitall reqs")
+					return d.fail("waitall reqs")
 				}
 				e.Reqs = make([]int32, k)
 				for j := range e.Reqs {
@@ -206,7 +365,7 @@ func Read(r io.Reader) (*Trace, error) {
 				e.Comm = CommID(d.varint())
 				k := int(d.uvarint())
 				if d.err != nil || k < 0 || k > maxRanks {
-					return nil, d.fail("alltoallv counts")
+					return d.fail("alltoallv counts")
 				}
 				e.SendBytes = make([]int64, k)
 				for j := range e.SendBytes {
@@ -218,12 +377,153 @@ func Read(r io.Reader) (*Trace, error) {
 				e.Bytes = int64(d.uvarint())
 			}
 			if d.err != nil {
-				return nil, d.fail(fmt.Sprintf("rank %d event %d", rank, i))
+				return d.fail(fmt.Sprintf("rank %d event %d", rank, i))
 			}
 		}
 		t.Ranks[rank] = evs
 	}
-	return t, nil
+	return nil
+}
+
+// readColumnarBody decodes the version-2 per-rank column blocks into c.
+func readColumnarBody(d *decoder, c *Columns) error {
+	for rank := range c.ranks {
+		n := int(d.uvarint())
+		if d.err != nil || n < 0 || n > maxRankEvents {
+			return d.fail("event count")
+		}
+		if n == 0 {
+			continue
+		}
+		rc := &c.ranks[rank]
+
+		// Op column: the block length must equal the event count, which
+		// bounds every later allocation by actual input size.
+		ops, err := d.block()
+		if err != nil {
+			return fmt.Errorf("%w: rank %d op column: %v", ErrBadFormat, rank, err)
+		}
+		if len(ops) != n {
+			return fmt.Errorf("%w: rank %d: op column holds %d events, count says %d", ErrBadFormat, rank, len(ops), n)
+		}
+		rc.op = make([]Op, n)
+		for i, b := range ops {
+			op := Op(b)
+			if !op.Valid() {
+				return fmt.Errorf("%w: rank %d event %d: bad op %d", ErrBadFormat, rank, i, b)
+			}
+			rc.op[i] = op
+		}
+		rc.entry = make([]simtime.Time, n)
+		rc.exit = make([]simtime.Time, n)
+		rc.peer = make([]int32, n)
+		rc.tag = make([]int32, n)
+		rc.root = make([]int32, n)
+		rc.req = make([]int32, n)
+		rc.comm = make([]CommID, n)
+		rc.bytes = make([]int64, n)
+		rc.auxOff = make([]uint32, n)
+		rc.auxLen = make([]uint32, n)
+		for i := range rc.peer {
+			rc.peer[i], rc.req[i] = NoPeer, NoReq
+		}
+
+		// Time column.
+		tb, err := d.blockDec()
+		if err != nil {
+			return fmt.Errorf("%w: rank %d time column: %v", ErrBadFormat, rank, err)
+		}
+		var cursor simtime.Time
+		for i := 0; i < n; i++ {
+			rc.entry[i] = cursor + simtime.Time(tb.varint())
+			rc.exit[i] = rc.entry[i] + simtime.Time(tb.varint())
+			cursor = rc.exit[i]
+		}
+		if err := tb.done("time column", rank); err != nil {
+			return err
+		}
+
+		// Point-to-point column block.
+		pb, err := d.blockDec()
+		if err != nil {
+			return fmt.Errorf("%w: rank %d p2p block: %v", ErrBadFormat, rank, err)
+		}
+		for i := 0; i < n; i++ {
+			if rc.op[i].IsP2P() {
+				rc.peer[i] = int32(pb.varint())
+				rc.tag[i] = int32(pb.varint())
+				rc.bytes[i] = int64(pb.uvarint())
+				rc.comm[i] = CommID(pb.varint())
+				rc.req[i] = int32(pb.varint())
+			}
+		}
+		if err := pb.done("p2p block", rank); err != nil {
+			return err
+		}
+
+		// Wait column block.
+		wb, err := d.blockDec()
+		if err != nil {
+			return fmt.Errorf("%w: rank %d wait block: %v", ErrBadFormat, rank, err)
+		}
+		for i := 0; i < n; i++ {
+			switch rc.op[i] {
+			case OpWait:
+				rc.req[i] = int32(wb.varint())
+			case OpWaitall:
+				k := int(wb.uvarint())
+				if wb.err != nil || k < 0 || k > len(wb.b)+1 {
+					return fmt.Errorf("%w: rank %d event %d: waitall set of %d", ErrBadFormat, rank, i, k)
+				}
+				rc.auxOff[i], rc.auxLen[i] = uint32(len(rc.reqArena)), uint32(k)
+				for j := 0; j < k; j++ {
+					rc.reqArena = append(rc.reqArena, int32(wb.varint()))
+				}
+			}
+		}
+		if err := wb.done("wait block", rank); err != nil {
+			return err
+		}
+
+		// Collective column block.
+		cb, err := d.blockDec()
+		if err != nil {
+			return fmt.Errorf("%w: rank %d collective block: %v", ErrBadFormat, rank, err)
+		}
+		for i := 0; i < n; i++ {
+			if rc.op[i].IsCollective() && rc.op[i] != OpAlltoallv {
+				rc.comm[i] = CommID(cb.varint())
+				rc.root[i] = int32(cb.varint())
+				rc.bytes[i] = int64(cb.uvarint())
+			}
+		}
+		if err := cb.done("collective block", rank); err != nil {
+			return err
+		}
+
+		// Alltoallv column block.
+		ab, err := d.blockDec()
+		if err != nil {
+			return fmt.Errorf("%w: rank %d alltoallv block: %v", ErrBadFormat, rank, err)
+		}
+		for i := 0; i < n; i++ {
+			if rc.op[i] == OpAlltoallv {
+				rc.comm[i] = CommID(ab.varint())
+				k := int(ab.uvarint())
+				if ab.err != nil || k < 0 || k > maxRanks {
+					return fmt.Errorf("%w: rank %d event %d: alltoallv table of %d", ErrBadFormat, rank, i, k)
+				}
+				rc.auxOff[i], rc.auxLen[i] = uint32(len(rc.sbArena)), uint32(k)
+				for j := 0; j < k; j++ {
+					rc.sbArena = append(rc.sbArena, int64(ab.uvarint()))
+				}
+			}
+		}
+		if err := ab.done("alltoallv block", rank); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type decoder struct {
@@ -286,4 +586,82 @@ func (d *decoder) str() string {
 		return ""
 	}
 	return string(b)
+}
+
+// block reads one length-prefixed column block. Allocation grows with
+// the bytes actually present in the stream, so a lying length prefix
+// cannot force a huge up-front allocation.
+func (d *decoder) block() ([]byte, error) {
+	ln := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ln > maxBlockBytes {
+		return nil, fmt.Errorf("block length %d too large", ln)
+	}
+	var out []byte
+	const chunk = 1 << 16
+	for remaining := int(ln); remaining > 0; {
+		c := min(remaining, chunk)
+		start := len(out)
+		out = append(out, make([]byte, c)...)
+		if _, err := io.ReadFull(d.br, out[start:]); err != nil {
+			d.err = err
+			return nil, err
+		}
+		remaining -= c
+	}
+	return out, nil
+}
+
+// blockDec reads a block and wraps it in a slice decoder.
+func (d *decoder) blockDec() (*sliceDec, error) {
+	b, err := d.block()
+	if err != nil {
+		return nil, err
+	}
+	return &sliceDec{b: b}, nil
+}
+
+// sliceDec decodes varints from an in-memory column block.
+type sliceDec struct {
+	b   []byte
+	err error
+}
+
+func (s *sliceDec) uvarint() uint64 {
+	if s.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(s.b)
+	if n <= 0 {
+		s.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	s.b = s.b[n:]
+	return v
+}
+
+func (s *sliceDec) varint() int64 {
+	if s.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(s.b)
+	if n <= 0 {
+		s.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	s.b = s.b[n:]
+	return v
+}
+
+// done verifies the block was consumed exactly.
+func (s *sliceDec) done(what string, rank int) error {
+	if s.err != nil {
+		return fmt.Errorf("%w: rank %d %s: %v", ErrBadFormat, rank, what, s.err)
+	}
+	if len(s.b) != 0 {
+		return fmt.Errorf("%w: rank %d %s: %d trailing bytes", ErrBadFormat, rank, what, len(s.b))
+	}
+	return nil
 }

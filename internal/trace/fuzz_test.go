@@ -1,9 +1,14 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -41,6 +46,153 @@ func FuzzRead(f *testing.F) {
 		_ = tr.MeasuredTotal()
 		_ = tr.Validate() // may fail; must not panic
 	})
+}
+
+// codecSeeds builds the FuzzTraceCodec seed set deterministically:
+// valid version-1 and version-2 encodings of a program exercising
+// every op family, an empty trace, and three precise corruptions — a
+// truncated column block, a lying block length prefix, and a header
+// that promises more ranks than the stream holds. The same bytes are
+// committed under testdata/fuzz/FuzzTraceCodec (TestWriteFuzzCorpus
+// regenerates them) so they run under plain `go test`.
+func codecSeeds() map[string][]byte {
+	build := func(meta Meta) *Columns {
+		b := NewBuilder(meta)
+		richProgram(b)
+		c, err := b.BuildColumns()
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	meta := Meta{App: "fuzzseed", Class: "S", Machine: "m", NumRanks: 4, RanksPerNode: 2, Seed: 7}
+	c := build(meta)
+	var v1, v2 bytes.Buffer
+	if err := Write(&v1, c.Materialize()); err != nil {
+		panic(err)
+	}
+	if err := WriteColumns(&v2, c); err != nil {
+		panic(err)
+	}
+	seeds := map[string][]byte{
+		"valid-v1": v1.Bytes(),
+		"valid-v2": v2.Bytes(),
+	}
+
+	empty, err := NewBuilder(Meta{App: "empty", NumRanks: 2}).BuildColumns()
+	if err != nil {
+		panic(err)
+	}
+	var ve bytes.Buffer
+	if err := WriteColumns(&ve, empty); err != nil {
+		panic(err)
+	}
+	seeds["empty-trace"] = ve.Bytes()
+
+	seeds["truncated-block"] = v2.Bytes()[:v2.Len()*2/3]
+
+	// Splice an over-limit uvarint in place of rank 0's op-column
+	// length prefix (it sits right after the header and the rank-0
+	// event count).
+	var hdr bytes.Buffer
+	bw := bufio.NewWriter(&hdr)
+	e := &encoder{bw: bw}
+	bw.WriteString(binaryMagic)
+	e.put(binaryVersionColumnar)
+	writeMetaComms(e, c.Meta, &c.Comms)
+	bw.Flush()
+	full := v2.Bytes()
+	_, cw := binary.Uvarint(full[hdr.Len():]) // rank-0 event count width
+	off := hdr.Len() + cw
+	_, lw := binary.Uvarint(full[off:]) // old length-prefix width
+	bad := append([]byte{}, full[:off]...)
+	bad = binary.AppendUvarint(bad, uint64(maxBlockBytes)*4)
+	seeds["bad-length-prefix"] = append(bad, full[off+lw:]...)
+
+	// WriteColumns emits len(c.ranks) bodies but the header advertises
+	// Meta.NumRanks; bumping the meta after the build yields a stream
+	// that runs out of rank bodies.
+	cm := build(meta)
+	cm.Meta.NumRanks = 6
+	var vm bytes.Buffer
+	if err := WriteColumns(&vm, cm); err != nil {
+		panic(err)
+	}
+	seeds["rank-count-mismatch"] = vm.Bytes()
+	return seeds
+}
+
+// FuzzTraceCodec holds the two binary decoders together: on any input,
+// Read and ReadColumns must agree on acceptance, anything accepted
+// must decode to the same events through both, and a decode → encode →
+// decode cycle must be lossless in both formats.
+func FuzzTraceCodec(f *testing.F) {
+	for _, s := range codecSeeds() {
+		f.Add(s)
+	}
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, trErr := Read(bytes.NewReader(data))
+		c, cErr := ReadColumns(bytes.NewReader(data))
+		if (trErr == nil) != (cErr == nil) {
+			t.Fatalf("decoders disagree: Read err %v, ReadColumns err %v", trErr, cErr)
+		}
+		if trErr != nil {
+			return
+		}
+		if c.Meta != tr.Meta {
+			t.Fatalf("meta differs: %+v vs %+v", c.Meta, tr.Meta)
+		}
+		if !commTablesEqual(&c.Comms, &tr.Comms) {
+			t.Fatal("comm tables differ between decoders")
+		}
+		requireSameEvents(t, tr, c)
+
+		var b1, b2 bytes.Buffer
+		if err := Write(&b1, tr); err != nil {
+			t.Fatalf("re-encode v1: %v", err)
+		}
+		tr2, err := Read(&b1)
+		if err != nil {
+			t.Fatalf("re-decode v1: %v", err)
+		}
+		if tr2.Meta != tr.Meta || !commTablesEqual(&tr2.Comms, &tr.Comms) {
+			t.Fatal("v1 roundtrip changed meta or comms")
+		}
+		requireSameEvents(t, tr, tr2)
+
+		if err := WriteColumns(&b2, c); err != nil {
+			t.Fatalf("re-encode v2: %v", err)
+		}
+		c2, err := ReadColumns(&b2)
+		if err != nil {
+			t.Fatalf("re-decode v2: %v", err)
+		}
+		if c2.Meta != c.Meta || !commTablesEqual(&c2.Comms, &c.Comms) {
+			t.Fatal("v2 roundtrip changed meta or comms")
+		}
+		requireSameEvents(t, tr, c2)
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed FuzzTraceCodec seed
+// corpus (run with WRITE_CORPUS=1 after changing the codec or seeds).
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_CORPUS") == "" {
+		t.Skip("set WRITE_CORPUS=1 to rewrite testdata/fuzz/FuzzTraceCodec")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range codecSeeds() {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }
 
 func FuzzReadJSON(f *testing.F) {

@@ -8,6 +8,8 @@ import (
 // Validation checks the structural invariants a replayable trace must
 // satisfy. Replay engines depend on these and may deadlock or panic on
 // traces that violate them, so generators and decoders validate first.
+// The checks run over the Source interface, so both representations
+// (array-of-structs and columnar) validate without conversion.
 
 // ErrInvalid is wrapped by all validation failures.
 var ErrInvalid = errors.New("trace: invalid")
@@ -28,24 +30,29 @@ func (t *Trace) Validate() error {
 	if len(t.Ranks) != t.Meta.NumRanks {
 		return fmt.Errorf("%w: %d rank streams, meta says %d", ErrInvalid, len(t.Ranks), t.Meta.NumRanks)
 	}
-	if err := t.validateLocal(); err != nil {
-		return err
-	}
-	if err := t.validateMatching(); err != nil {
-		return err
-	}
-	return t.validateCollectives()
+	return validateSource(t)
 }
 
-func (t *Trace) validateLocal() error {
-	n := int32(t.Meta.NumRanks)
-	for rank, evs := range t.Ranks {
+func validateSource(src Source) error {
+	if err := validateLocal(src); err != nil {
+		return err
+	}
+	if err := validateMatching(src); err != nil {
+		return err
+	}
+	return validateCollectives(src)
+}
+
+func validateLocal(src Source) error {
+	n := int32(src.TraceMeta().NumRanks)
+	comms := src.TraceComms()
+	var e Event
+	for rank := 0; rank < int(n); rank++ {
 		pending := make(map[int32]bool)
-		var cursor = evs // for error context only
-		_ = cursor
 		prevExit := int64(-1)
-		for i := range evs {
-			e := &evs[i]
+		m := src.RankLen(rank)
+		for i := 0; i < m; i++ {
+			src.EventAt(rank, i, &e)
 			if !e.Op.Valid() {
 				return fmt.Errorf("%w: rank %d event %d: bad op %d", ErrInvalid, rank, i, e.Op)
 			}
@@ -69,10 +76,10 @@ func (t *Trace) validateLocal() error {
 				}
 			}
 			if e.Op.IsCollective() || e.Op.IsP2P() {
-				if int(e.Comm) < 0 || int(e.Comm) >= t.Comms.Len() {
+				if int(e.Comm) < 0 || int(e.Comm) >= comms.Len() {
 					return fmt.Errorf("%w: rank %d event %d: comm %d out of range", ErrInvalid, rank, i, e.Comm)
 				}
-				if !t.Comms.Contains(e.Comm, int32(rank)) {
+				if !comms.Contains(e.Comm, int32(rank)) {
 					return fmt.Errorf("%w: rank %d event %d: rank not in comm %d", ErrInvalid, rank, i, e.Comm)
 				}
 			}
@@ -98,12 +105,12 @@ func (t *Trace) validateLocal() error {
 					delete(pending, r)
 				}
 			case e.Op == OpAlltoallv:
-				if len(e.SendBytes) != t.Comms.Size(e.Comm) {
+				if len(e.SendBytes) != comms.Size(e.Comm) {
 					return fmt.Errorf("%w: rank %d event %d: alltoallv counts len %d != comm size %d",
-						ErrInvalid, rank, i, len(e.SendBytes), t.Comms.Size(e.Comm))
+						ErrInvalid, rank, i, len(e.SendBytes), comms.Size(e.Comm))
 				}
 			}
-			if e.Op.IsRooted() && !t.Comms.Contains(e.Comm, e.Root) {
+			if e.Op.IsRooted() && !comms.Contains(e.Comm, e.Root) {
 				return fmt.Errorf("%w: rank %d event %d: root %d not in comm %d", ErrInvalid, rank, i, e.Root, e.Comm)
 			}
 		}
@@ -122,13 +129,16 @@ type matchKey struct {
 	comm          CommID
 }
 
-func (t *Trace) validateMatching() error {
+func validateMatching(src Source) error {
 	type msg struct{ bytes int64 }
 	sends := make(map[matchKey][]msg)
 	recvs := make(map[matchKey][]msg)
-	for rank, evs := range t.Ranks {
-		for i := range evs {
-			e := &evs[i]
+	var e Event
+	n := src.TraceMeta().NumRanks
+	for rank := 0; rank < n; rank++ {
+		m := src.RankLen(rank)
+		for i := 0; i < m; i++ {
+			src.EventAt(rank, i, &e)
 			switch e.Op {
 			case OpSend, OpIsend:
 				k := matchKey{int32(rank), e.Peer, e.Tag, e.Comm}
@@ -168,20 +178,24 @@ type collSig struct {
 	bytes int64
 }
 
-func (t *Trace) validateCollectives() error {
+func validateCollectives(src Source) error {
 	// Per communicator, every member must observe the same ordered
 	// sequence of collective signatures.
-	perComm := make([][][]collSig, t.Comms.Len()) // [comm][memberPos][]sig
+	comms := src.TraceComms()
+	perComm := make([][][]collSig, comms.Len()) // [comm][memberPos][]sig
 	for c := range perComm {
-		perComm[c] = make([][]collSig, t.Comms.Size(CommID(c)))
+		perComm[c] = make([][]collSig, comms.Size(CommID(c)))
 	}
-	for rank, evs := range t.Ranks {
-		for i := range evs {
-			e := &evs[i]
+	var e Event
+	n := src.TraceMeta().NumRanks
+	for rank := 0; rank < n; rank++ {
+		m := src.RankLen(rank)
+		for i := 0; i < m; i++ {
+			src.EventAt(rank, i, &e)
 			if !e.Op.IsCollective() {
 				continue
 			}
-			pos := t.Comms.Position(e.Comm, int32(rank))
+			pos := comms.Position(e.Comm, int32(rank))
 			sig := collSig{e.Op, e.Root, e.Bytes}
 			if e.Op == OpAlltoallv {
 				sig.bytes = 0 // per-member payloads differ by design
