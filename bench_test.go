@@ -112,7 +112,7 @@ func BenchmarkFigure2(b *testing.B) {
 	}
 	b.StopTimer()
 	printArtifact(b, "f2", f2.Render())
-	cdf := f2.TotalDiff[simnet.PacketFlow]
+	cdf := f2.TotalDiff[string(simnet.PacketFlow)]
 	b.ReportMetric(100*cdf.FractionWithin(0.05), "%within5pct")
 	b.ReportMetric(100*cdf.FractionWithin(0.02), "%within2pct")
 }

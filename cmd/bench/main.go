@@ -27,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"hpctradeoff/internal/core"
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/machine"
 	"hpctradeoff/internal/mpisim"
@@ -49,6 +50,11 @@ type Entry struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// PeakHeapBytes is a sampled peak-residency estimate (max HeapInuse
+	// observed while the scenario ran); only the campaign scenarios
+	// report it, because residency — not throughput — is what the
+	// Source-native pipeline buys over materializing each trace.
+	PeakHeapBytes float64 `json:"peak_heap_bytes,omitempty"`
 }
 
 // Snapshot is the on-disk benchmark record.
@@ -88,6 +94,8 @@ func scenarios() []scenario {
 		{"trace/codec-roundtrip-v1", benchCodecRoundtripV1},
 		{"trace/materialize-full", benchMaterializeFull},
 		{"trace/materialize-vs-stream", benchStream},
+		{"campaign/materialized", benchCampaignMaterialized},
+		{"campaign/source-native", benchCampaignSource},
 	}
 }
 
@@ -360,6 +368,92 @@ func benchStream(short bool) uint64 {
 	return events
 }
 
+// campaignSuite is the reduced campaign slice both campaign scenarios
+// run: every scheme on a handful of class-S traces, exactly as one
+// RunCampaign worker would.
+func campaignSuite(short bool) []workload.Params {
+	ps := []workload.Params{
+		{App: "CG", Class: "S", Ranks: 16, Machine: "cielito", RanksPerNode: 4, Seed: 11},
+		{App: "FT", Class: "S", Ranks: 16, Machine: "hopper", RanksPerNode: 4, Seed: 22},
+		{App: "LULESH", Class: "S", Ranks: 16, Machine: "edison", RanksPerNode: 4, Seed: 33},
+		{App: "IS", Class: "S", Ranks: 16, Machine: "cielito", RanksPerNode: 4, Seed: 44},
+	}
+	if short {
+		return ps[:2]
+	}
+	return ps
+}
+
+// peakHeap is set by the campaign scenarios (sampled max HeapInuse
+// during the run) and collected by measure() into the Entry.
+var peakHeap uint64
+
+// samplePeakHeap polls HeapInuse until stop is closed and records the
+// maximum into peakHeap (keeping the largest across b.N iterations).
+func samplePeakHeap(stop chan struct{}, done chan struct{}) {
+	defer close(done)
+	var m runtime.MemStats
+	for {
+		runtime.ReadMemStats(&m)
+		if m.HeapInuse > peakHeap {
+			peakHeap = m.HeapInuse
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// benchCampaignMaterialized is the pre-registry campaign pipeline: each
+// trace is materialized as an array-of-structs trace, then every scheme
+// replays it (via the deprecated RunOnTrace path).
+func benchCampaignMaterialized(short bool) uint64 {
+	stop, done := make(chan struct{}), make(chan struct{})
+	go samplePeakHeap(stop, done)
+	defer func() { close(stop); <-done }()
+	var events uint64
+	for _, p := range campaignSuite(short) {
+		tr, err := workload.Materialize(p)
+		if err != nil {
+			panic(err)
+		}
+		mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
+		if err != nil {
+			panic(err)
+		}
+		r, err := core.RunOnTrace(tr, mach, p)
+		if err != nil {
+			panic(err)
+		}
+		events += uint64(r.Events)
+	}
+	return events
+}
+
+// benchCampaignSource is the Source-native pipeline: one Runner with
+// per-scheme sessions, columnar materialization, no array-of-structs
+// trace anywhere on the replay path.
+func benchCampaignSource(short bool) uint64 {
+	stop, done := make(chan struct{}), make(chan struct{})
+	go samplePeakHeap(stop, done)
+	defer func() { close(stop); <-done }()
+	rn, err := core.NewRunner(nil)
+	if err != nil {
+		panic(err)
+	}
+	var events uint64
+	for _, p := range campaignSuite(short) {
+		r, err := rn.RunOne(p, core.RunOptions{})
+		if err != nil {
+			panic(err)
+		}
+		events += uint64(r.Events)
+	}
+	return events
+}
+
 // startProfiles turns on the requested pprof outputs and returns the
 // function that finalizes them (stops the CPU profile, snapshots the
 // heap after a final GC).
@@ -395,6 +489,7 @@ func startProfiles(cpu, mem string) (func(), error) {
 
 func measure(sc scenario, short bool) Entry {
 	var events uint64
+	peakHeap = 0
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -402,11 +497,12 @@ func measure(sc scenario, short bool) Entry {
 		}
 	})
 	e := Entry{
-		Name:        sc.name,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
-		BytesPerOp:  float64(r.MemBytes) / float64(r.N),
-		EventsPerOp: float64(events),
+		Name:          sc.name,
+		NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:   float64(r.MemAllocs) / float64(r.N),
+		BytesPerOp:    float64(r.MemBytes) / float64(r.N),
+		EventsPerOp:   float64(events),
+		PeakHeapBytes: float64(peakHeap),
 	}
 	if events > 0 {
 		e.NsPerEvent = e.NsPerOp / float64(events)

@@ -17,7 +17,7 @@ import (
 
 	"hpctradeoff/internal/classifier"
 	"hpctradeoff/internal/core"
-	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/scheme"
 )
 
 func main() {
@@ -42,15 +42,16 @@ func main() {
 	}
 	var rows []row
 	for _, r := range rs {
-		d, ok := r.DiffTotal(simnet.PacketFlow)
-		if !ok || r.Model == nil {
+		d, ok := r.DiffTotal(scheme.PacketFlow)
+		model := r.Model()
+		if !ok || model == nil {
 			continue
 		}
-		signed := float64(r.Sims[simnet.PacketFlow].Total)/float64(r.Model.Total()) - 1
+		signed := float64(r.Schemes[scheme.PacketFlow].Total)/float64(model.Total()) - 1
 		rows = append(rows, row{
 			id: r.ID, signed: signed, diff: d,
-			bw: r.Model.BandwidthSensitivity(), lat: r.Model.LatencySensitivity(),
-			wt: r.Model.WaitFraction(), grp: r.Group(),
+			bw: model.BandwidthSensitivity(), lat: model.LatencySensitivity(),
+			wt: model.WaitFraction(), grp: r.Group(),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].diff > rows[j].diff })

@@ -6,16 +6,20 @@
 //
 //	mfact trace.htrc              # model a trace file
 //	mfact -app FT -ranks 64       # generate and model a synthetic trace
+//	mfact -schemes mfact,packet -app FT -ranks 64
+//	                              # compare registry schemes on one trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hpctradeoff/internal/machine"
 	"hpctradeoff/internal/mfact"
+	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/workload"
 )
@@ -28,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for -app")
 	parallel := flag.Bool("parallel", false, "use the goroutine-per-rank replayer")
 	grid := flag.Bool("grid", false, "print a 2-D bandwidth × latency what-if grid")
+	schemes := flag.String("schemes", "", "run these registered schemes over the trace and compare "+
+		"(comma-separated; available: "+strings.Join(scheme.Names(), ",")+")")
 	flag.Parse()
 
 	tr, err := loadOrGenerate(*app, *class, *ranks, *machName, *seed, flag.Arg(0))
@@ -39,6 +45,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mfact:", err)
 		os.Exit(1)
+	}
+
+	if *schemes != "" {
+		if err := runSchemes(tr, mach, *schemes); err != nil {
+			fmt.Fprintln(os.Stderr, "mfact:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	start := time.Now()
@@ -90,6 +104,27 @@ func main() {
 		fmt.Println()
 		fmt.Print(g.Render())
 	}
+}
+
+// runSchemes replays the trace through each selected registry scheme
+// and prints a side-by-side comparison.
+func runSchemes(tr *trace.Trace, mach *machine.Config, list string) error {
+	ss, err := scheme.Resolve(scheme.ParseList(list))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace   %s (%d ranks, %d events)\n\n", tr.Meta.ID(), tr.Meta.NumRanks, tr.NumEvents())
+	fmt.Printf("%-12s %-11s %-14s %-14s %-12s %s\n", "scheme", "kind", "total", "comm", "events", "wall")
+	for _, s := range ss {
+		out, err := s.Run(tr, mach, scheme.Options{})
+		if err != nil {
+			fmt.Printf("%-12s %-11s failed: %v\n", s.Name(), s.Kind(), err)
+			continue
+		}
+		fmt.Printf("%-12s %-11s %-14v %-14v %-12d %v\n",
+			out.Scheme, out.Kind, out.Total, out.Comm, out.Events, out.Wall.Round(time.Microsecond))
+	}
+	return nil
 }
 
 func loadOrGenerate(app, class string, ranks int, machName string, seed int64, path string) (*trace.Trace, error) {

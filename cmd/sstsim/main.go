@@ -6,16 +6,20 @@
 //
 //	sstsim -model packetflow trace.htrc
 //	sstsim -model packet -app FT -ranks 64
+//	sstsim -schemes mfact,packetflow -app FT -ranks 64
+//	                                 # compare registry schemes on one trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hpctradeoff/internal/machine"
 	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/workload"
@@ -29,6 +33,8 @@ func main() {
 	ranks := flag.Int("ranks", 64, "rank count for -app")
 	machName := flag.String("machine", "edison", "target machine")
 	seed := flag.Int64("seed", 1, "seed for -app")
+	schemes := flag.String("schemes", "", "run these registered schemes over the trace and compare "+
+		"(comma-separated; available: "+strings.Join(scheme.Names(), ",")+"; overrides -model)")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -52,6 +58,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *schemes != "" {
+		if err := runSchemes(tr, mach, *schemes); err != nil {
+			fmt.Fprintln(os.Stderr, "sstsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	start := time.Now()
 	res, err := mpisim.Replay(tr, simnet.Model(*model), mach, simnet.Config{PacketBytes: *packetBytes}, mpisim.Options{})
 	if err != nil {
@@ -73,6 +87,29 @@ func main() {
 	s := res.Net
 	fmt.Printf("\nnetwork: %d messages, %d packets, %d flow updates, %.1f MB injected\n",
 		s.Messages, s.Packets, s.FlowUpdates, float64(s.BytesSent)/1e6)
+}
+
+// runSchemes replays the trace through each selected registry scheme
+// and prints a side-by-side comparison (the paper's Table II shape for
+// a single trace).
+func runSchemes(tr *trace.Trace, mach *machine.Config, list string) error {
+	ss, err := scheme.Resolve(scheme.ParseList(list))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace   %s (%d ranks, %d events)\n", tr.Meta.ID(), tr.Meta.NumRanks, tr.NumEvents())
+	fmt.Printf("machine %s on %s\n\n", mach.Name, mach.Topo.Name())
+	fmt.Printf("%-12s %-11s %-14s %-14s %-12s %s\n", "scheme", "kind", "total", "comm", "events", "wall")
+	for _, s := range ss {
+		out, err := s.Run(tr, mach, scheme.Options{})
+		if err != nil {
+			fmt.Printf("%-12s %-11s failed: %v\n", s.Name(), s.Kind(), err)
+			continue
+		}
+		fmt.Printf("%-12s %-11s %-14v %-14v %-12d %v\n",
+			out.Scheme, out.Kind, out.Total, out.Comm, out.Events, out.Wall.Round(time.Microsecond))
+	}
+	return nil
 }
 
 func readTrace(path string) (*trace.Trace, error) {

@@ -18,6 +18,12 @@
 //	tradeoff -checkpoint run.jsonl    # journal each completed trace
 //	tradeoff -checkpoint run.jsonl -resume
 //	                                  # re-execute only missing/failed traces
+//
+// Scheme selection (see internal/scheme's registry):
+//
+//	tradeoff -schemes mfact,packet    # run a subset of the registered schemes
+//	                                  # (checkpoints record the selection and
+//	                                  # refuse to resume under a different one)
 package main
 
 import (
@@ -26,9 +32,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"hpctradeoff/internal/core"
+	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/workload"
 )
 
@@ -90,6 +98,8 @@ func main() {
 	retries := flag.Int("retries", 0, "retry transiently failing traces up to N times")
 	checkpoint := flag.String("checkpoint", "", "append completed traces to this JSONL journal")
 	resume := flag.Bool("resume", false, "skip traces already in -checkpoint; rerun only missing/failed ones")
+	schemes := flag.String("schemes", "", "comma-separated scheme subset to run (default: all registered: "+
+		strings.Join(scheme.Names(), ",")+")")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -120,13 +130,14 @@ func main() {
 				return
 			}
 			fmt.Printf("[%3d/%3d] %-36s measured=%-12v model=%v\n",
-				done, total, r.ID, r.Measured, r.ModelWall.Round(time.Microsecond))
+				done, total, r.ID, r.Measured, r.ModelWall().Round(time.Microsecond))
 		}
 		var rep *core.CampaignReport
 		rs, rep, err = core.RunCampaign(suite, core.CampaignConfig{
 			Workers:        *workers,
 			Policy:         core.FailurePolicy{KeepGoing: *keepGoing, MaxRetries: *retries},
 			Run:            core.RunOptions{Timeout: *timeout, MaxEvents: *maxEvents},
+			Schemes:        scheme.ParseList(*schemes),
 			CheckpointPath: *checkpoint,
 			Resume:         *resume,
 			Progress:       progress,

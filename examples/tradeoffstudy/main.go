@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"hpctradeoff/internal/core"
-	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/workload"
 )
 
@@ -35,11 +35,15 @@ func main() {
 	fmt.Printf("%-15s %-9s %-22s %-12s %-12s %-8s\n",
 		"app", "commFrac", "class", "model wall", "pflow wall", "DIFF")
 	for _, r := range results {
-		d, _ := r.DiffTotal(simnet.PacketFlow)
+		d, _ := r.DiffTotal(scheme.PacketFlow)
+		model := r.Model()
+		if model == nil {
+			continue
+		}
 		fmt.Printf("%-15s %-9.2f %-22v %-12v %-12v %+.2f%%\n",
-			r.Params.App, r.CommFraction, r.Model.Class,
-			r.ModelWall.Round(time.Microsecond),
-			r.Sims[simnet.PacketFlow].Wall.Round(time.Microsecond),
+			r.Params.App, r.CommFraction, model.Class,
+			r.ModelWall().Round(time.Microsecond),
+			r.Schemes[scheme.PacketFlow].Wall.Round(time.Microsecond),
 			100*d)
 	}
 

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/workload"
 )
@@ -42,6 +45,10 @@ const (
 	KindDeadlock ErrorKind = "deadlock"
 	// KindInvalidInput marks a malformed trace or manifest entry.
 	KindInvalidInput ErrorKind = "invalid-input"
+	// KindUnsupported marks a capability gap: the scheme cannot replay
+	// the trace's feature set (SST/Macro 3.0's packet and flow models on
+	// complex grouping or thread-multiple traces).
+	KindUnsupported ErrorKind = "unsupported"
 	// KindUnknown is everything else.
 	KindUnknown ErrorKind = "unknown"
 )
@@ -65,6 +72,8 @@ func Classify(err error) ErrorKind {
 		return KindDeadlock
 	case errors.Is(err, mpisim.ErrUnknownRequest), errors.Is(err, trace.ErrInvalid):
 		return KindInvalidInput
+	case errors.Is(err, simnet.ErrUnsupportedTrace):
+		return KindUnsupported
 	}
 	return KindUnknown
 }
@@ -116,6 +125,11 @@ const (
 type CampaignConfig struct {
 	// Workers is the worker-pool size (≤0 = all cores).
 	Workers int
+	// Schemes selects which registered schemes run on each trace, in
+	// the given order; nil or empty runs every registered scheme. The
+	// selection is recorded in the checkpoint header, so a resumed
+	// campaign cannot silently mix results from different scheme sets.
+	Schemes []string
 	// Policy is the failure policy.
 	Policy FailurePolicy
 	// Run bounds each individual trace run.
@@ -180,9 +194,15 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	runner := cfg.Runner
-	if runner == nil {
-		runner = RunOneOpts
+	schemeNames := cfg.Schemes
+	if len(schemeNames) == 0 {
+		schemeNames = scheme.Names()
+	}
+	if cfg.Runner == nil {
+		// Validate the selection before any worker needs it.
+		if _, err := scheme.Resolve(schemeNames); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
 	}
 
 	rep := &CampaignReport{Total: len(ps)}
@@ -190,14 +210,23 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 	traceErrs := make([]*TraceError, len(ps))
 
 	done := map[string]*TraceResult{}
-	if cfg.Resume {
-		if cfg.CheckpointPath == "" {
-			return nil, nil, fmt.Errorf("core: resume requested without a checkpoint path")
-		}
-		var err error
-		done, err = LoadCheckpoint(cfg.CheckpointPath)
+	if cfg.Resume && cfg.CheckpointPath == "" {
+		return nil, nil, fmt.Errorf("core: resume requested without a checkpoint path")
+	}
+	if cfg.CheckpointPath != "" {
+		// Read the journal up front even when not resuming: an existing
+		// journal written for a different scheme set (or schema version)
+		// must be rejected, never silently appended to.
+		loaded, header, err := loadCheckpointFull(cfg.CheckpointPath)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: resuming campaign: %w", err)
+		}
+		if header != nil && !sameSchemeSet(header, schemeNames) {
+			return nil, nil, fmt.Errorf("core: checkpoint %s was written for schemes [%s] but this campaign selects [%s]; use a fresh checkpoint path or a matching scheme selection",
+				cfg.CheckpointPath, strings.Join(header, ","), strings.Join(sortedSchemes(schemeNames), ","))
+		}
+		if cfg.Resume {
+			done = loaded
 		}
 	}
 
@@ -219,7 +248,7 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 	var ckpt *Checkpoint
 	if cfg.CheckpointPath != "" {
 		var err error
-		ckpt, err = OpenCheckpoint(cfg.CheckpointPath)
+		ckpt, err = OpenCheckpoint(cfg.CheckpointPath, schemeNames)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: opening checkpoint: %w", err)
 		}
@@ -238,6 +267,26 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			runner := cfg.Runner
+			if runner == nil {
+				// One Runner (one scheme.Session set) per worker: replay
+				// arenas and free lists amortize across this worker's
+				// traces without any cross-goroutine sharing.
+				rn, err := NewRunner(schemeNames)
+				if err != nil {
+					mu.Lock()
+					if infraErr == nil {
+						infraErr = fmt.Errorf("core: %w", err)
+					}
+					mu.Unlock()
+					stop.Store(true)
+					for range jobs {
+						// Drain so the producer never blocks on a dead pool.
+					}
+					return
+				}
+				runner = rn.RunOne
+			}
 			for i := range jobs {
 				r, terr := runWithRetry(ps[i], cfg.Policy, cfg.Run, runner, &retries)
 				if terr == nil && ckpt != nil {

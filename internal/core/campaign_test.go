@@ -13,6 +13,7 @@ import (
 
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/simtime"
 	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/workload"
@@ -259,10 +260,10 @@ func TestCampaignSurvivorsMatchCleanRun(t *testing.T) {
 	if !reflect.DeepEqual(got.Features, want.Features) {
 		t.Errorf("feature vectors differ")
 	}
-	for m, s := range want.Sims {
-		g := got.Sims[m]
+	for m, s := range want.Schemes {
+		g := got.Schemes[m]
 		if g.OK != s.OK || g.Total != s.Total || g.Events != s.Events {
-			t.Errorf("sim %s differs: got {OK:%v Total:%v Events:%d}, want {OK:%v Total:%v Events:%d}",
+			t.Errorf("scheme %s differs: got {OK:%v Total:%v Events:%d}, want {OK:%v Total:%v Events:%d}",
 				m, g.OK, g.Total, g.Events, s.OK, s.Total, s.Events)
 		}
 	}
@@ -372,6 +373,7 @@ func TestClassify(t *testing.T) {
 		{fmt.Errorf("x: %w", mpisim.ErrDeadlock), KindDeadlock},
 		{fmt.Errorf("x: %w", mpisim.ErrUnknownRequest), KindInvalidInput},
 		{fmt.Errorf("x: %w", trace.ErrInvalid), KindInvalidInput},
+		{fmt.Errorf("x: %w", simnet.ErrUnsupportedTrace), KindUnsupported},
 		{errors.New("mystery"), KindUnknown},
 	}
 	for _, c := range cases {
@@ -379,7 +381,7 @@ func TestClassify(t *testing.T) {
 			t.Errorf("Classify(%v) = %s, want %s", c.err, got, c.want)
 		}
 	}
-	if KindBudget.Transient() || KindDeadlock.Transient() || KindInvalidInput.Transient() {
+	if KindBudget.Transient() || KindDeadlock.Transient() || KindInvalidInput.Transient() || KindUnsupported.Transient() {
 		t.Error("deterministic kinds must not be transient")
 	}
 	if !KindPanic.Transient() || !KindUnknown.Transient() {
@@ -393,7 +395,7 @@ func TestCheckpointRoundTripAndTruncation(t *testing.T) {
 	p := workload.Params{App: "EP", Class: "S", Ranks: 16, Machine: "cielito", Seed: 41}
 	r := &TraceResult{Params: p, ID: "EP.S.x16.cielito", Measured: 12345}
 
-	ck, err := OpenCheckpoint(path)
+	ck, err := OpenCheckpoint(path, []string{"mfact", "packet"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +411,7 @@ func TestCheckpointRoundTripAndTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"version":1,"key":"half-writ`); err != nil {
+	if _, err := f.WriteString(`{"version":2,"key":"half-writ`); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -430,6 +432,70 @@ func TestCheckpointRoundTripAndTruncation(t *testing.T) {
 	empty, err := LoadCheckpoint(filepath.Join(dir, "absent.jsonl"))
 	if err != nil || len(empty) != 0 {
 		t.Errorf("missing journal: got %v, %v", empty, err)
+	}
+}
+
+// A journal carrying a different schema version — including a legacy
+// pre-scheme-registry version-1 record — must be rejected loudly, not
+// silently skipped (that would quietly re-run the entire campaign).
+func TestCheckpointRejectsWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"legacy-v1": `{"version":1,"key":"CG.A.x64.hopper.n0.s1.i0","result":{"ID":"CG.A.x64.hopper","Model":null,"Sims":{}}}` + "\n",
+		"future-v3": `{"version":3,"header":true,"schemes":["mfact"]}` + "\n",
+		"no-version": `{"key":"CG.A.x64.hopper.n0.s1.i0","result":{"ID":"x"}}` + "\n",
+	}
+	for name, line := range cases {
+		path := filepath.Join(dir, name+".jsonl")
+		if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(path)
+		if !errors.Is(err, ErrCheckpointVersion) {
+			t.Errorf("%s: err = %v, want ErrCheckpointVersion", name, err)
+		}
+	}
+}
+
+// Resuming a checkpoint written under a different scheme selection must
+// fail: its records do not cover the schemes this campaign needs.
+func TestCampaignRejectsSchemeSetMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	p := workload.Params{App: "EP", Class: "S", Ranks: 16, Machine: "cielito", Seed: 51}
+
+	ck, err := OpenCheckpoint(path, []string{"mfact", "packet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	_, _, err = RunCampaign([]workload.Params{p}, CampaignConfig{
+		Workers:        1,
+		CheckpointPath: path,
+		Resume:         true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "schemes") {
+		t.Fatalf("scheme-set mismatch not rejected: %v", err)
+	}
+
+	// The same selection (order-insensitive) resumes fine.
+	rs, _, err := RunCampaign([]workload.Params{p}, CampaignConfig{
+		Workers:        1,
+		Schemes:        []string{"packet", "mfact"},
+		CheckpointPath: path,
+		Resume:         true,
+	})
+	if err != nil {
+		t.Fatalf("matching scheme set rejected: %v", err)
+	}
+	if rs[0] == nil {
+		t.Fatal("campaign produced no result")
+	}
+	if _, ok := rs[0].Schemes["mfact"]; !ok {
+		t.Error("mfact outcome missing")
+	}
+	if _, ok := rs[0].Schemes["flow"]; ok {
+		t.Error("flow ran despite not being selected")
 	}
 }
 

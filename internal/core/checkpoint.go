@@ -8,36 +8,78 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"sort"
 	"sync"
 
 	"hpctradeoff/internal/workload"
 )
 
-// The campaign checkpoint is an append-only JSONL journal: one
-// self-contained line per completed trace. Appending a line is the
-// only write, so a crash at any instant leaves at worst one truncated
-// final line, which the loader tolerates. The final results JSON is
-// still written separately (atomically) by SaveResultsFile; the
-// journal exists so a killed campaign restarts where it left off.
+// The campaign checkpoint is an append-only JSONL journal: a header
+// line recording the schema version and the campaign's scheme set,
+// then one self-contained line per completed trace. Appending a line
+// is the only write, so a crash at any instant leaves at worst one
+// truncated final line, which the loader tolerates. The final results
+// JSON is still written separately (atomically) by SaveResultsFile;
+// the journal exists so a killed campaign restarts where it left off.
+//
+// The header's scheme set is what makes resumption safe under the
+// scheme registry: a journal written by `-schemes=mfact,packet` must
+// not silently satisfy a campaign running all four schemes, so
+// RunCampaign compares the header against its selection and rejects
+// mismatches.
 
-// checkpointEntry is one journal line.
+// checkpointEntry is one journal line: a header (Header true, Schemes
+// set) or a trace record (Key and Result set).
 type checkpointEntry struct {
 	Version int          `json:"version"`
-	Key     string       `json:"key"`
-	Result  *TraceResult `json:"result"`
+	Header  bool         `json:"header,omitempty"`
+	Schemes []string     `json:"schemes,omitempty"`
+	Key     string       `json:"key,omitempty"`
+	Result  *TraceResult `json:"result,omitempty"`
 }
 
-const checkpointVersion = 1
+// checkpointVersion is the journal schema version. Version 1 (the
+// pre-scheme-registry schema, whose results carried Model/Sims fields)
+// is rejected with ErrCheckpointVersion, not silently skipped.
+const checkpointVersion = 2
+
+// ErrCheckpointVersion is wrapped by loader errors rejecting a journal
+// line written under a different checkpoint schema version.
+var ErrCheckpointVersion = errors.New("core: checkpoint schema version mismatch")
 
 // CampaignKey identifies a manifest entry across campaign runs. It
 // covers every Params field that changes the generated trace, so a
 // resumed campaign never mistakes one configuration's result for
 // another's. (The key is computed from the manifest params, not the
 // result: a retried trace runs with a derived seed but is journaled
-// under its manifest identity.)
+// under its manifest identity. The scheme set is journal-global, in
+// the header, rather than per-key.)
 func CampaignKey(p workload.Params) string {
 	return fmt.Sprintf("%s.%s.x%d.%s.n%d.s%d.i%d",
 		p.App, p.Class, p.Ranks, p.Machine, p.RanksPerNode, p.Seed, p.Iters)
+}
+
+// sortedSchemes returns a sorted copy of names (the canonical header
+// form, so selection order does not matter for resumption).
+func sortedSchemes(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}
+
+// sameSchemeSet reports whether a and b name the same schemes,
+// ignoring order.
+func sameSchemeSet(a, b []string) bool {
+	sa, sb := sortedSchemes(a), sortedSchemes(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Checkpoint appends completed trace results to a JSONL journal. It is
@@ -49,13 +91,35 @@ type Checkpoint struct {
 }
 
 // OpenCheckpoint opens (creating if needed) the journal at path for
-// appending.
-func OpenCheckpoint(path string) (*Checkpoint, error) {
+// appending. A fresh (empty) journal gets a header line recording the
+// schema version and the campaign's scheme set; an existing journal is
+// appended to as-is (RunCampaign validates its header before opening).
+func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &Checkpoint{f: f, enc: json.NewEncoder(f)}, nil
+	c := &Checkpoint{f: f, enc: json.NewEncoder(f)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if err := c.enc.Encode(checkpointEntry{
+			Version: checkpointVersion,
+			Header:  true,
+			Schemes: sortedSchemes(schemes),
+		}); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // Append journals one completed trace under its manifest key and
@@ -77,19 +141,30 @@ func (c *Checkpoint) Close() error {
 }
 
 // LoadCheckpoint reads a journal into a key→result map. A missing file
-// is an empty journal (a fresh campaign may pass -resume). Corrupt or
-// truncated lines — the signature of a crash mid-append — and entries
-// from other journal versions are skipped, not fatal: the campaign
-// simply re-runs those traces. A key appearing twice keeps the latest
-// entry.
+// is an empty journal (a fresh campaign may pass -resume). Lines that
+// do not parse as JSON — the signature of a crash mid-append — are
+// skipped, not fatal: the campaign simply re-runs those traces. A line
+// that parses but carries a different schema version (including a
+// legacy pre-scheme-registry version-1 record) fails with an error
+// wrapping ErrCheckpointVersion: silently dropping it would re-run the
+// whole campaign while appending to a journal no old tool can read. A
+// key appearing twice keeps the latest entry.
 func LoadCheckpoint(path string) (map[string]*TraceResult, error) {
+	out, _, err := loadCheckpointFull(path)
+	return out, err
+}
+
+// loadCheckpointFull is LoadCheckpoint also returning the header's
+// scheme set (nil when the journal has no header line).
+func loadCheckpointFull(path string) (map[string]*TraceResult, []string, error) {
 	out := map[string]*TraceResult{}
+	var schemes []string
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return out, nil
+		return out, nil, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -103,13 +178,21 @@ func LoadCheckpoint(path string) (map[string]*TraceResult, error) {
 		if err := json.Unmarshal(line, &e); err != nil {
 			continue
 		}
-		if e.Version != checkpointVersion || e.Key == "" || e.Result == nil {
+		if e.Version != checkpointVersion {
+			return nil, nil, fmt.Errorf("%w: %s has a version-%d line, this build writes version %d; start a fresh checkpoint or convert the journal",
+				ErrCheckpointVersion, path, e.Version, checkpointVersion)
+		}
+		if e.Header {
+			schemes = e.Schemes
+			continue
+		}
+		if e.Key == "" || e.Result == nil {
 			continue
 		}
 		out[e.Key] = e.Result
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
+		return nil, nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
 	}
-	return out, nil
+	return out, schemes, nil
 }

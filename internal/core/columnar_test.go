@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"hpctradeoff/internal/machine"
@@ -74,6 +75,81 @@ func TestColumnarReplayBitIdentical(t *testing.T) {
 					if wr.RankComm[r] != gr.RankComm[r] {
 						t.Fatalf("%s: rank %d comm %v vs %v", model, r, wr.RankComm[r], gr.RankComm[r])
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignSourceNativeBitIdentical is the campaign-level identity
+// contract of the Source-native pipeline: for every application in the
+// suite, the full RunOne path (columnar materialization, session-held
+// scheme replays, Source-walk feature extraction) must produce a
+// TraceResult exactly equal — field for field, except the
+// wall-clock-dependent Outcome.Wall — to running the same schemes over
+// the classic materialized array-of-structs trace via the deprecated
+// RunOnTrace path.
+func TestCampaignSourceNativeBitIdentical(t *testing.T) {
+	rn, err := NewRunner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range workload.Apps() {
+		t.Run(app, func(t *testing.T) {
+			p := workload.Params{App: app, Class: "S", Ranks: 8, Machine: "edison", Seed: int64(300 + i)}
+
+			// Source-native path, with sessions shared across the suite
+			// exactly as a campaign worker would share them.
+			got, err := rn.RunOne(p, RunOptions{})
+			if err != nil {
+				t.Fatalf("RunOne (source-native): %v", err)
+			}
+
+			// Materialized path: stamped array-of-structs trace.
+			tr, err := workload.Materialize(p)
+			if err != nil {
+				t.Fatalf("Materialize: %v", err)
+			}
+			mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := RunOnTrace(tr, mach, p)
+			if err != nil {
+				t.Fatalf("RunOnTrace (materialized): %v", err)
+			}
+
+			if got.ID != want.ID || got.Measured != want.Measured ||
+				got.MeasuredComm != want.MeasuredComm ||
+				got.CommFraction != want.CommFraction || got.Events != want.Events {
+				t.Fatalf("measured fields differ:\ngot  %s %v %v %v %d\nwant %s %v %v %v %d",
+					got.ID, got.Measured, got.MeasuredComm, got.CommFraction, got.Events,
+					want.ID, want.Measured, want.MeasuredComm, want.CommFraction, want.Events)
+			}
+			if !reflect.DeepEqual(got.Features, want.Features) {
+				t.Fatalf("feature vectors differ:\ngot  %v\nwant %v", got.Features, want.Features)
+			}
+			if len(got.Schemes) != len(want.Schemes) {
+				t.Fatalf("scheme sets differ: %d vs %d", len(got.Schemes), len(want.Schemes))
+			}
+			for name, w := range want.Schemes {
+				g, ok := got.Schemes[name]
+				if !ok {
+					t.Fatalf("scheme %s missing from source-native result", name)
+				}
+				// Wall is wall-clock noise; everything else must be
+				// bit-identical, including the mfact sweep internals.
+				gm, wm := g.Model, w.Model
+				g.Wall, w.Wall = 0, 0
+				g.Model, w.Model = nil, nil
+				if g != w {
+					t.Fatalf("scheme %s outcome differs:\ngot  %+v\nwant %+v", name, g, w)
+				}
+				if (gm == nil) != (wm == nil) {
+					t.Fatalf("scheme %s mfact result presence differs", name)
+				}
+				if wm != nil {
+					requireSameMFACT(t, name, wm, gm)
 				}
 			}
 		})

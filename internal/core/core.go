@@ -1,9 +1,17 @@
 // Package core orchestrates the study: it materializes traces from the
-// workload manifest, runs MFACT modeling and the three SST/Macro-analog
-// simulations on each, and aggregates the results into the paper's
-// tables and figures (performance ratios, accuracy CDFs, per-app
-// comparisons, classification groups, and the need-for-simulation
-// predictor's training data).
+// workload manifest, runs every registered prediction scheme (MFACT
+// modeling and the three SST/Macro-analog simulations) on each, and
+// aggregates the results into the paper's tables and figures
+// (performance ratios, accuracy CDFs, per-app comparisons,
+// classification groups, and the need-for-simulation predictor's
+// training data).
+//
+// The campaign path is Source-native: traces are generated and stamped
+// columnar (workload.MaterializeColumns) and every scheme replays the
+// *trace.Columns through the trace.Source access path, so the
+// 235-trace study never materializes an array-of-structs trace on the
+// replay path. Schemes come from the internal/scheme registry; adding
+// a backend is a scheme.Register call, with no change here.
 package core
 
 import (
@@ -15,27 +23,11 @@ import (
 	"hpctradeoff/internal/features"
 	"hpctradeoff/internal/machine"
 	"hpctradeoff/internal/mfact"
-	"hpctradeoff/internal/mpisim"
-	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/simtime"
 	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/workload"
 )
-
-// SimOutcome records one simulation backend's run on one trace.
-type SimOutcome struct {
-	// OK is false when the backend cannot replay the trace (the
-	// SST/Macro 3.0 capability gaps) or the replay failed.
-	OK  bool
-	Err string
-	// Total and Comm are the predicted application and communication
-	// times.
-	Total, Comm simtime.Time
-	// Events is the number of DES events executed.
-	Events uint64
-	// Wall is the wall-clock execution time of the simulation.
-	Wall time.Duration
-}
 
 // TraceResult bundles everything the study measures for one trace.
 type TraceResult struct {
@@ -48,26 +40,47 @@ type TraceResult struct {
 	CommFraction float64
 	Events       int
 
-	// Model is the MFACT result (baseline = as-configured machine).
-	Model *mfact.Result
-	// ModelWall is MFACT's wall-clock modeling time.
-	ModelWall time.Duration
-
-	// Sims holds the three simulation outcomes keyed by model name.
-	Sims map[simnet.Model]SimOutcome
+	// Schemes holds every scheme's outcome keyed by scheme name
+	// ("mfact", "packet", "flow", "packetflow", plus any custom
+	// registrations). Failed schemes carry their typed classification
+	// (Outcome.ErrKind) so reports bucket capability gaps separately
+	// from deadlocks.
+	Schemes map[string]scheme.Outcome
 
 	// Features is the Table III vector (filled when the run succeeds).
 	Features []float64
 }
 
-// DiffTotal returns |T_sim/T_model − 1| for the given backend, and
-// whether it is defined (backend succeeded).
-func (tr *TraceResult) DiffTotal(m simnet.Model) (float64, bool) {
-	s, ok := tr.Sims[m]
-	if !ok || !s.OK || tr.Model == nil || tr.Model.Total() <= 0 {
+// Model returns the MFACT result (baseline = as-configured machine),
+// or nil when the mfact scheme did not run or failed.
+func (tr *TraceResult) Model() *mfact.Result {
+	if o, ok := tr.Schemes[scheme.MFACT]; ok && o.OK {
+		return o.Model
+	}
+	return nil
+}
+
+// ModelWall returns MFACT's wall-clock modeling time (zero when the
+// scheme did not run).
+func (tr *TraceResult) ModelWall() time.Duration {
+	return tr.Schemes[scheme.MFACT].Wall
+}
+
+// Outcome returns the named scheme's outcome and whether it ran.
+func (tr *TraceResult) Outcome(name string) (scheme.Outcome, bool) {
+	o, ok := tr.Schemes[name]
+	return o, ok
+}
+
+// DiffTotal returns |T_scheme/T_model − 1| for the named scheme, and
+// whether it is defined (the scheme succeeded and MFACT ran).
+func (tr *TraceResult) DiffTotal(name string) (float64, bool) {
+	s, ok := tr.Schemes[name]
+	model := tr.Model()
+	if !ok || !s.OK || model == nil || model.Total() <= 0 {
 		return 0, false
 	}
-	d := float64(s.Total)/float64(tr.Model.Total()) - 1
+	d := float64(s.Total)/float64(model.Total()) - 1
 	if d < 0 {
 		d = -d
 	}
@@ -75,12 +88,13 @@ func (tr *TraceResult) DiffTotal(m simnet.Model) (float64, bool) {
 }
 
 // DiffComm is DiffTotal for communication time.
-func (tr *TraceResult) DiffComm(m simnet.Model) (float64, bool) {
-	s, ok := tr.Sims[m]
-	if !ok || !s.OK || tr.Model == nil || tr.Model.Comm() <= 0 {
+func (tr *TraceResult) DiffComm(name string) (float64, bool) {
+	s, ok := tr.Schemes[name]
+	model := tr.Model()
+	if !ok || !s.OK || model == nil || model.Comm() <= 0 {
 		return 0, false
 	}
-	d := float64(s.Comm)/float64(tr.Model.Comm()) - 1
+	d := float64(s.Comm)/float64(model.Comm()) - 1
 	if d < 0 {
 		d = -d
 	}
@@ -102,13 +116,14 @@ const (
 // reduction; otherwise split by the wait fraction (the share of
 // logical time spent waiting for peers).
 func (tr *TraceResult) Group() Group {
-	if tr.Model == nil {
+	model := tr.Model()
+	if model == nil {
 		return GroupComputation
 	}
-	if tr.Model.CommSensitive() {
+	if model.CommSensitive() {
 		return GroupCommSensitive
 	}
-	if tr.Model.WaitFraction() > imbalanceGroupWait {
+	if model.WaitFraction() > imbalanceGroupWait {
 		return GroupImbalance
 	}
 	return GroupComputation
@@ -131,18 +146,39 @@ type RunOptions struct {
 	MaxEvents uint64
 }
 
-// RunOne materializes the trace for p and runs all four schemes on it.
-func RunOne(p workload.Params) (*TraceResult, error) {
-	return RunOneOpts(p, RunOptions{})
+// Runner executes every selected scheme on each trace it is handed,
+// keeping one scheme.Session per scheme so replay state (clock-vector
+// free lists, op/request arenas) amortizes across traces. A Runner is
+// not safe for concurrent use; RunCampaign creates one per worker.
+type Runner struct {
+	schemes  []scheme.Scheme
+	sessions []scheme.Session
 }
 
-// RunOneOpts is RunOne with per-trace budget limits.
-func RunOneOpts(p workload.Params, ro RunOptions) (*TraceResult, error) {
+// NewRunner returns a Runner over the named schemes in the given
+// order; nil or empty selects every registered scheme in registry
+// order. Unknown names are an error.
+func NewRunner(names []string) (*Runner, error) {
+	ss, err := scheme.Resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{schemes: ss, sessions: make([]scheme.Session, len(ss))}
+	for i, s := range ss {
+		r.sessions[i] = s.NewSession()
+	}
+	return r, nil
+}
+
+// RunOne materializes the trace for p — columnar, stamped through the
+// Source path, no array-of-structs build — and runs every selected
+// scheme on it.
+func (rn *Runner) RunOne(p workload.Params, ro RunOptions) (*TraceResult, error) {
 	var deadline time.Time
 	if ro.Timeout > 0 {
 		deadline = time.Now().Add(ro.Timeout)
 	}
-	t, err := workload.MaterializeBudget(p, deadline, ro.MaxEvents)
+	cols, err := workload.MaterializeColumnsBudget(p, deadline, ro.MaxEvents)
 	if err != nil {
 		return nil, err
 	}
@@ -150,57 +186,71 @@ func RunOneOpts(p workload.Params, ro RunOptions) (*TraceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runOnTrace(t, mach, p, deadline, ro.MaxEvents)
+	return rn.runSource(cols, mach, p, deadline, ro.MaxEvents)
 }
 
-// RunOnTrace runs the four schemes on an already-materialized trace.
-func RunOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params) (*TraceResult, error) {
-	return runOnTrace(t, mach, p, time.Time{}, 0)
-}
-
-func runOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params, deadline time.Time, maxEvents uint64) (*TraceResult, error) {
+// runSource runs every scheme session on an already-stamped source.
+func (rn *Runner) runSource(src trace.Source, mach *machine.Config, p workload.Params, deadline time.Time, maxEvents uint64) (*TraceResult, error) {
 	res := &TraceResult{
 		Params:       p,
-		ID:           t.Meta.ID(),
-		Measured:     t.MeasuredTotal(),
-		MeasuredComm: t.MeasuredComm(),
-		CommFraction: t.CommFraction(),
-		Events:       t.NumEvents(),
-		Sims:         make(map[simnet.Model]SimOutcome),
+		ID:           src.TraceMeta().ID(),
+		Measured:     trace.SourceMeasuredTotal(src),
+		MeasuredComm: trace.SourceMeasuredComm(src),
+		CommFraction: trace.SourceCommFraction(src),
+		Events:       trace.SourceNumEvents(src),
+		Schemes:      make(map[string]scheme.Outcome, len(rn.schemes)),
 	}
-
-	start := time.Now()
-	model, err := mfact.Model(t, mach, nil)
-	if err != nil {
-		return nil, fmt.Errorf("core: modeling %s: %w", res.ID, err)
-	}
-	res.ModelWall = time.Since(start)
-	res.Model = model
-
-	for _, m := range simnet.Models() {
-		start := time.Now()
-		sim, err := mpisim.Replay(t, m, mach, simnet.Config{}, mpisim.Options{Deadline: deadline, MaxEvents: maxEvents})
+	opts := scheme.Options{Deadline: deadline, MaxEvents: maxEvents}
+	for i, s := range rn.schemes {
+		out, err := rn.sessions[i].Run(src, mach, opts)
+		out.Scheme, out.Kind = s.Name(), s.Kind()
 		if err != nil {
-			// A blown budget means the trace is a runaway: fail the whole
-			// trace so the campaign can classify and report it. Capability
-			// gaps and deadlocks stay per-backend outcomes.
+			// A blown budget or cancellation means the trace is a runaway:
+			// fail the whole trace so the campaign can classify and report
+			// it. Everything else — capability gaps, deadlocks — stays a
+			// per-scheme outcome carrying its typed classification.
 			if errors.Is(err, des.ErrBudgetExceeded) || errors.Is(err, des.ErrCanceled) {
-				return nil, fmt.Errorf("core: simulating %s: %w", res.ID, err)
+				return nil, fmt.Errorf("core: running %s on %s: %w", s.Name(), res.ID, err)
 			}
-			res.Sims[m] = SimOutcome{OK: false, Err: err.Error(), Wall: time.Since(start)}
-			continue
+			out.OK = false
+			out.Err = err.Error()
+			out.ErrKind = string(Classify(err))
 		}
-		res.Sims[m] = SimOutcome{
-			OK:     true,
-			Total:  sim.Total,
-			Comm:   sim.Comm,
-			Events: sim.Events,
-			Wall:   time.Since(start),
-		}
+		res.Schemes[s.Name()] = out
 	}
-
-	res.Features = features.Extract(t, model)
+	res.Features = features.ExtractSource(src, res.Model())
 	return res, nil
+}
+
+// RunOne materializes the trace for p and runs every registered scheme
+// on it.
+func RunOne(p workload.Params) (*TraceResult, error) {
+	return RunOneOpts(p, RunOptions{})
+}
+
+// RunOneOpts is RunOne with per-trace budget limits. It builds a fresh
+// Runner per call; campaign workers reuse one Runner across traces.
+func RunOneOpts(p workload.Params, ro RunOptions) (*TraceResult, error) {
+	rn, err := NewRunner(nil)
+	if err != nil {
+		return nil, err
+	}
+	return rn.RunOne(p, ro)
+}
+
+// RunOnTrace runs every registered scheme on an already-materialized
+// array-of-structs trace.
+//
+// Deprecated: RunOnTrace is kept for pre-registry callers holding a
+// *trace.Trace. The campaign path is Source-native (Runner.RunOne):
+// it stamps and replays a columnar trace and never builds the
+// array-of-structs form.
+func RunOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params) (*TraceResult, error) {
+	rn, err := NewRunner(nil)
+	if err != nil {
+		return nil, err
+	}
+	return rn.runSource(t, mach, p, time.Time{}, 0)
 }
 
 // RunSuite runs the given manifest with a worker pool (both tools use

@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
-	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/workload"
 )
 
@@ -16,11 +18,11 @@ func TestRunOneComputeBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Measured <= 0 || r.Model == nil {
+	if r.Measured <= 0 || r.Model() == nil {
 		t.Fatal("missing results")
 	}
-	for _, m := range simnet.Models() {
-		s := r.Sims[m]
+	for _, m := range []string{scheme.Packet, scheme.Flow, scheme.PacketFlow} {
+		s := r.Schemes[m]
 		if !s.OK {
 			t.Errorf("%s failed: %s", m, s.Err)
 		}
@@ -28,7 +30,7 @@ func TestRunOneComputeBound(t *testing.T) {
 			t.Errorf("%s total = %v", m, s.Total)
 		}
 	}
-	if d, ok := r.DiffTotal(simnet.PacketFlow); !ok || d > 0.05 {
+	if d, ok := r.DiffTotal(scheme.PacketFlow); !ok || d > 0.05 {
 		t.Errorf("EP DIFFtotal = %v (ok=%v), want small", d, ok)
 	}
 	if g := r.Group(); g != GroupComputation {
@@ -46,14 +48,56 @@ func TestRunOneCapabilityGaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Sims[simnet.Flow].OK {
+	if r.Schemes[scheme.Flow].OK {
 		t.Error("flow should fail on comm-split trace")
 	}
-	if !r.Sims[simnet.PacketFlow].OK {
+	if r.Schemes[scheme.Flow].ErrKind != string(KindUnsupported) {
+		t.Errorf("flow ErrKind = %q, want %q", r.Schemes[scheme.Flow].ErrKind, KindUnsupported)
+	}
+	if !r.Schemes[scheme.PacketFlow].OK {
 		t.Error("packet-flow should handle comm-split trace")
 	}
-	if _, ok := r.DiffTotal(simnet.Flow); ok {
+	if _, ok := r.DiffTotal(scheme.Flow); ok {
 		t.Error("DiffTotal should be undefined for a failed backend")
+	}
+}
+
+// A fifth scheme registered through the public scheme API flows
+// through RunOne with no change to internal/core: it appears in the
+// TraceResult keyed by its name, alongside the four built-ins.
+func TestRunOneIncludesRegisteredFifthScheme(t *testing.T) {
+	scheme.Register(scheme.Func{
+		SchemeName: "toy-count",
+		SchemeKind: scheme.KindModel,
+		RunFunc: func(src trace.Source, mach *machine.Config, opts scheme.Options) (scheme.Outcome, error) {
+			return scheme.Outcome{
+				OK:     true,
+				Total:  1,
+				Comm:   1,
+				Events: uint64(trace.SourceNumEvents(src)),
+			}, nil
+		},
+	})
+	defer scheme.Unregister("toy-count")
+
+	p := workload.Params{App: "EP", Class: "S", Ranks: 16, Machine: "cielito", Seed: 71}
+	r, err := RunOne(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := r.Schemes["toy-count"]
+	if !ok {
+		t.Fatalf("fifth scheme missing from result: %v", r.Schemes)
+	}
+	if !o.OK || o.Scheme != "toy-count" || o.Kind != scheme.KindModel {
+		t.Errorf("fifth scheme outcome = %+v", o)
+	}
+	if o.Events != uint64(r.Events) {
+		t.Errorf("fifth scheme saw %d events, trace has %d", o.Events, r.Events)
+	}
+	// The built-ins still ran.
+	if r.Model() == nil || !r.Schemes[scheme.PacketFlow].OK {
+		t.Error("built-in schemes missing alongside the fifth")
 	}
 }
 
@@ -103,12 +147,12 @@ func TestRunSuiteAndExperiments(t *testing.T) {
 	}
 
 	f2 := BuildFigure2(rs)
-	if f2.TotalDiff[simnet.PacketFlow].Len() == 0 {
+	if f2.TotalDiff[scheme.PacketFlow].Len() == 0 {
 		t.Error("Figure2 has no packet-flow samples")
 	}
 	// The flow backend completed fewer traces than packet-flow
 	// (BigFFT refused), reproducing the paper's completion gap.
-	if f2.TotalDiff[simnet.Flow].Len() >= f2.TotalDiff[simnet.PacketFlow].Len() {
+	if f2.TotalDiff[scheme.Flow].Len() >= f2.TotalDiff[scheme.PacketFlow].Len() {
 		t.Error("flow completed as many traces as packet-flow; capability gap lost")
 	}
 
@@ -138,12 +182,15 @@ func TestRunSuiteAndExperiments(t *testing.T) {
 
 func TestBuildTable2Selection(t *testing.T) {
 	rs := []*TraceResult{
-		{Params: workload.Params{App: "CMC", Ranks: 64}, Sims: map[simnet.Model]SimOutcome{}, ModelWall: time.Millisecond},
-		{Params: workload.Params{App: "CMC", Ranks: 1024}, Sims: map[simnet.Model]SimOutcome{
-			simnet.Packet:     {Wall: 100 * time.Millisecond},
-			simnet.Flow:       {Wall: 20 * time.Millisecond},
-			simnet.PacketFlow: {Wall: 10 * time.Millisecond},
-		}, ModelWall: time.Millisecond},
+		{Params: workload.Params{App: "CMC", Ranks: 64}, Schemes: map[string]scheme.Outcome{
+			scheme.MFACT: {Kind: scheme.KindModel, OK: true, Wall: time.Millisecond},
+		}},
+		{Params: workload.Params{App: "CMC", Ranks: 1024}, Schemes: map[string]scheme.Outcome{
+			scheme.MFACT:      {Kind: scheme.KindModel, OK: true, Wall: time.Millisecond},
+			scheme.Packet:     {Kind: scheme.KindSimulation, OK: true, Wall: 100 * time.Millisecond},
+			scheme.Flow:       {Kind: scheme.KindSimulation, OK: true, Wall: 20 * time.Millisecond},
+			scheme.PacketFlow: {Kind: scheme.KindSimulation, OK: true, Wall: 10 * time.Millisecond},
+		}},
 	}
 	rows := BuildTable2(rs, map[string]int{"CMC": 1024})
 	if len(rows) != 1 || rows[0].Name != "CMC(1024)" {

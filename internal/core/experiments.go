@@ -9,7 +9,7 @@ import (
 	"hpctradeoff/internal/classifier"
 	"hpctradeoff/internal/features"
 	"hpctradeoff/internal/metrics"
-	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/scheme"
 )
 
 // This file regenerates the paper's tables and figures from a slice of
@@ -49,6 +49,46 @@ func exclusionNote(excluded int) string {
 		return ""
 	}
 	return fmt.Sprintf("  [%d failed traces excluded]", excluded)
+}
+
+// simSchemes returns the simulation scheme names present in rs, in
+// registry order (names no longer registered sort last,
+// alphabetically), so the builders iterate deterministically even over
+// results loaded from disk or produced under a different registry.
+func simSchemes(rs []*TraceResult) []string {
+	present := map[string]bool{}
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		for name, o := range r.Schemes {
+			if o.Kind == scheme.KindSimulation {
+				present[name] = true
+			}
+		}
+	}
+	regPos := map[string]int{}
+	for i, n := range scheme.Names() {
+		regPos[n] = i
+	}
+	out := make([]string, 0, len(present))
+	for n := range present {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, iok := regPos[out[i]]
+		pj, jok := regPos[out[j]]
+		switch {
+		case iok && jok:
+			return pi < pj
+		case iok:
+			return true
+		case jok:
+			return false
+		}
+		return out[i] < out[j]
+	})
+	return out
 }
 
 // ---------------------------------------------------------------- T1
@@ -158,10 +198,10 @@ func BuildTable2(rs []*TraceResult, want map[string]int) []Table2Row {
 		}
 		out = append(out, Table2Row{
 			Name:   fmt.Sprintf("%s(%d)", r.Params.App, r.Params.Ranks),
-			Packet: r.Sims[simnet.Packet].Wall,
-			Flow:   r.Sims[simnet.Flow].Wall,
-			PktFlw: r.Sims[simnet.PacketFlow].Wall,
-			MFACT:  r.ModelWall,
+			Packet: r.Schemes[scheme.Packet].Wall,
+			Flow:   r.Schemes[scheme.Flow].Wall,
+			PktFlw: r.Schemes[scheme.PacketFlow].Wall,
+			MFACT:  r.ModelWall(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -181,20 +221,23 @@ func RenderTable2(rows []Table2Row) string {
 
 // ---------------------------------------------------------------- F1
 
-// Figure1 reports each simulation model's execution time as a multiple
-// of MFACT's, bucketed ≤10×, ≤100×, ≤1000×, >1000×.
+// Figure1 reports each simulation scheme's execution time as a
+// multiple of MFACT's, bucketed ≤10×, ≤100×, ≤1000×, >1000×.
 type Figure1 struct {
-	// Used is the number of traces where all four schemes succeeded and
+	// Used is the number of traces where every scheme succeeded and
 	// the run was not trivially small (the paper keeps 126 of 235).
 	Used int
-	// Buckets[model] = cumulative fractions for ≤10×, ≤100×, ≤1000×,
+	// Sims lists the simulation scheme names the figure covers, in
+	// registry order — the iteration order of Buckets and Ratios.
+	Sims []string
+	// Buckets[scheme] = cumulative fractions for ≤10×, ≤100×, ≤1000×,
 	// and the fraction >1000×.
-	Buckets map[simnet.Model][]float64
+	Buckets map[string][]float64
 	// FirstPlace[scheme] = fraction of traces where the scheme was the
 	// fastest ("MFACT ranks first for all cases").
 	FirstPlace map[string]float64
-	// Ratios holds the raw per-trace ratios per model.
-	Ratios map[simnet.Model][]float64
+	// Ratios holds the raw per-trace ratios per scheme.
+	Ratios map[string][]float64
 	// Excluded counts failed traces dropped from a partial result set.
 	Excluded int
 }
@@ -205,17 +248,21 @@ type Figure1 struct {
 func BuildFigure1(rs []*TraceResult, minWall time.Duration) Figure1 {
 	rs, excluded := live(rs)
 	f := Figure1{
-		Buckets:    make(map[simnet.Model][]float64),
+		Sims:       simSchemes(rs),
+		Buckets:    make(map[string][]float64),
 		FirstPlace: make(map[string]float64),
-		Ratios:     make(map[simnet.Model][]float64),
+		Ratios:     make(map[string][]float64),
 		Excluded:   excluded,
 	}
 	firsts := make(map[string]int)
 	for _, r := range rs {
+		if mo, ok := r.Schemes[scheme.MFACT]; !ok || !mo.OK {
+			continue
+		}
 		allOK := true
 		var maxWall time.Duration
-		for _, m := range simnet.Models() {
-			s := r.Sims[m]
+		for _, m := range f.Sims {
+			s := r.Schemes[m]
 			if !s.OK {
 				allOK = false
 				break
@@ -228,18 +275,18 @@ func BuildFigure1(rs []*TraceResult, minWall time.Duration) Figure1 {
 			continue
 		}
 		f.Used++
-		best, bestWall := "MFACT", r.ModelWall
-		for _, m := range simnet.Models() {
-			w := r.Sims[m].Wall
-			ratio := float64(w) / float64(maxDur(r.ModelWall, time.Nanosecond))
+		best, bestWall := "MFACT", r.ModelWall()
+		for _, m := range f.Sims {
+			w := r.Schemes[m].Wall
+			ratio := float64(w) / float64(maxDur(r.ModelWall(), time.Nanosecond))
 			f.Ratios[m] = append(f.Ratios[m], ratio)
 			if w < bestWall {
-				best, bestWall = string(m), w
+				best, bestWall = m, w
 			}
 		}
 		firsts[best]++
 	}
-	for _, m := range simnet.Models() {
+	for _, m := range f.Sims {
 		f.Buckets[m] = metrics.RatioBuckets(f.Ratios[m], []float64{10, 100, 1000})
 	}
 	for k, v := range firsts {
@@ -261,9 +308,9 @@ func (f Figure1) Render() string {
 	fmt.Fprintf(&b, "Figure 1: simulation time as multiples of MFACT's modeling time (%d traces)%s\n",
 		f.Used, exclusionNote(f.Excluded))
 	var rows [][]string
-	for _, m := range simnet.Models() {
+	for _, m := range f.Sims {
 		bk := f.Buckets[m]
-		rows = append(rows, []string{string(m),
+		rows = append(rows, []string{m,
 			metrics.Pct(bk[0]), metrics.Pct(bk[1]), metrics.Pct(bk[2]), metrics.Pct(bk[3])})
 	}
 	b.WriteString(metrics.Table([]string{"Model", "<=10x", "<=100x", "<=1000x", ">1000x"}, rows))
@@ -273,11 +320,14 @@ func (f Figure1) Render() string {
 
 // ---------------------------------------------------------------- F2
 
-// Figure2 holds the accuracy CDFs of the three simulation models
-// against MFACT.
+// Figure2 holds the accuracy CDFs of the simulation schemes against
+// MFACT.
 type Figure2 struct {
-	CommDiff  map[simnet.Model]metrics.CDF
-	TotalDiff map[simnet.Model]metrics.CDF
+	// Sims lists the simulation scheme names, in registry order — the
+	// iteration order of the CDF maps.
+	Sims      []string
+	CommDiff  map[string]metrics.CDF
+	TotalDiff map[string]metrics.CDF
 	// Excluded counts failed traces dropped from a partial result set.
 	Excluded int
 }
@@ -287,11 +337,12 @@ type Figure2 struct {
 func BuildFigure2(rs []*TraceResult) Figure2 {
 	rs, excluded := live(rs)
 	f := Figure2{
-		CommDiff:  make(map[simnet.Model]metrics.CDF),
-		TotalDiff: make(map[simnet.Model]metrics.CDF),
+		Sims:      simSchemes(rs),
+		CommDiff:  make(map[string]metrics.CDF),
+		TotalDiff: make(map[string]metrics.CDF),
 		Excluded:  excluded,
 	}
-	for _, m := range simnet.Models() {
+	for _, m := range f.Sims {
 		var comm, total []float64
 		for _, r := range rs {
 			if d, ok := r.DiffComm(m); ok {
@@ -313,12 +364,12 @@ func (f Figure2) Render() string {
 	probes := []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.40}
 	fmtPct := func(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }
 	b.WriteString("Figure 2(a): |estimated communication time vs MFACT|" + exclusionNote(f.Excluded) + "\n")
-	for _, m := range simnet.Models() {
-		b.WriteString(metrics.CDFSeries("  "+string(m), f.CommDiff[m], probes, fmtPct))
+	for _, m := range f.Sims {
+		b.WriteString(metrics.CDFSeries("  "+m, f.CommDiff[m], probes, fmtPct))
 	}
 	b.WriteString("\nFigure 2(b): |estimated total time vs MFACT|\n")
-	for _, m := range simnet.Models() {
-		b.WriteString(metrics.CDFSeries("  "+string(m), f.TotalDiff[m], probes, fmtPct))
+	for _, m := range f.Sims {
+		b.WriteString(metrics.CDFSeries("  "+m, f.TotalDiff[m], probes, fmtPct))
 	}
 	return b.String()
 }
@@ -359,16 +410,16 @@ func BuildAppAccuracy(rs []*TraceResult, apps []string) []AppAccuracy {
 			a = &AppAccuracy{App: r.Params.App}
 			byApp[r.Params.App] = a
 		}
-		if d, ok := r.DiffComm(simnet.PacketFlow); ok && d > a.MaxCommDiff {
+		if d, ok := r.DiffComm(scheme.PacketFlow); ok && d > a.MaxCommDiff {
 			a.MaxCommDiff = d
 		}
-		if d, ok := r.DiffTotal(simnet.PacketFlow); ok && d > a.MaxTotalDiff {
+		if d, ok := r.DiffTotal(scheme.PacketFlow); ok && d > a.MaxTotalDiff {
 			a.MaxTotalDiff = d
 		}
-		if s := r.Sims[simnet.PacketFlow]; s.OK && r.Measured > 0 {
+		if s, model := r.Schemes[scheme.PacketFlow], r.Model(); s.OK && model != nil && r.Measured > 0 {
 			v := sums[r.Params.App]
 			v[0] += float64(s.Total) / float64(r.Measured)
-			v[1] += float64(r.Model.Total()) / float64(r.Measured)
+			v[1] += float64(model.Total()) / float64(r.Measured)
 			sums[r.Params.App] = v
 			a.Traces++
 		}
@@ -422,7 +473,7 @@ func BuildFigure5(rs []*TraceResult) Figure5 {
 	for _, r := range rs {
 		g := r.Group()
 		counts[g]++
-		if d, ok := r.DiffTotal(simnet.PacketFlow); ok {
+		if d, ok := r.DiffTotal(scheme.PacketFlow); ok {
 			vals[g] = append(vals[g], d)
 		}
 	}
@@ -465,15 +516,15 @@ func BuildPredictionStudy(rs []*TraceResult, runs, maxVars int, seed int64) (*Pr
 	var obs []classifier.Observation
 	clIdx := features.Index("CLncs")
 	for _, r := range rs {
-		d, ok := r.DiffTotal(simnet.PacketFlow)
+		d, ok := r.DiffTotal(scheme.PacketFlow)
 		if !ok || r.Features == nil {
 			continue
 		}
 		// Recompute the CL feature from the stored sweep so the current
 		// sensitivity rule applies even to reloaded results.
 		x := append([]float64(nil), r.Features...)
-		if clIdx >= 0 && r.Model != nil {
-			if r.Model.CommSensitive() {
+		if model := r.Model(); clIdx >= 0 && model != nil {
+			if model.CommSensitive() {
 				x[clIdx] = 0
 			} else {
 				x[clIdx] = 1

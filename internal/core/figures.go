@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"hpctradeoff/internal/metrics"
-	"hpctradeoff/internal/simnet"
 )
 
 // WriteFigures renders the study's figures as SVG files into dir:
@@ -34,15 +33,13 @@ func WriteFigures(dir string, rs []*TraceResult, minWall time.Duration) ([]strin
 	var names []string
 	var vals [][]float64
 	for gi := range groups {
-		row := make([]float64, 0, 3)
-		for _, m := range simnet.Models() {
+		row := make([]float64, 0, len(f1.Sims))
+		for _, m := range f1.Sims {
 			row = append(row, 100*f1.Buckets[m][gi])
 		}
 		vals = append(vals, row)
 	}
-	for _, m := range simnet.Models() {
-		names = append(names, string(m))
-	}
+	names = append(names, f1.Sims...)
 	if err := put("figure1.svg", metrics.BarChart(
 		fmt.Sprintf("Figure 1: simulation time as multiples of MFACT time (%d traces)", f1.Used),
 		"% of traces", groups, names, vals)); err != nil {
@@ -51,10 +48,10 @@ func WriteFigures(dir string, rs []*TraceResult, minWall time.Duration) ([]strin
 
 	// Figure 2: accuracy CDFs.
 	f2 := BuildFigure2(rs)
-	mkCDF := func(title string, data map[simnet.Model]metrics.CDF) string {
+	mkCDF := func(title string, data map[string]metrics.CDF) string {
 		var ss []metrics.Series
-		for _, m := range simnet.Models() {
-			ss = append(ss, metrics.CDFSeriesPoints(string(m), data[m], 0.5, 100, 100))
+		for _, m := range f2.Sims {
+			ss = append(ss, metrics.CDFSeriesPoints(m, data[m], 0.5, 100, 100))
 		}
 		return metrics.LineChart(title, "|difference vs MFACT| (%)", "cumulative % of traces", ss)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,17 +12,23 @@ import (
 // FuzzCheckpointLoader throws arbitrary bytes at the JSONL checkpoint
 // loader. The journal is the one file the campaign both writes under
 // concurrency and re-reads after a crash, so the loader must treat any
-// on-disk state — truncated lines, interleaved garbage, stale
-// versions, binary junk — as survivable damage:
+// on-disk state — truncated lines, interleaved garbage, binary junk —
+// as survivable damage, while refusing loudly (never silently) journals
+// from a different schema version:
 //
-//   - LoadCheckpoint never panics and never returns a nil map without
-//     an error;
+//   - LoadCheckpoint never panics; it either returns a non-nil map or
+//     one of the two sanctioned errors (ErrCheckpointVersion for a
+//     parseable line of another schema version, or the scanner's
+//     token-too-long for lines beyond the 64 MB buffer);
 //   - every loaded entry has a non-empty key and non-nil result;
-//   - a valid entry written after arbitrary damage (on its own line,
-//     as a post-crash append would be) is always recovered.
+//   - when the journal loads cleanly, a valid entry appended after the
+//     damage (on its own line, as a post-crash append would be) is
+//     always recovered.
 //
 // The committed seed corpus in testdata/fuzz/FuzzCheckpointLoader
-// pins the interesting shapes and runs as part of plain `go test`.
+// pins the interesting shapes — including legacy version-1 records
+// from before the scheme registry — and runs as part of plain
+// `go test`.
 func FuzzCheckpointLoader(f *testing.F) {
 	valid, err := json.Marshal(checkpointEntry{
 		Version: checkpointVersion,
@@ -36,8 +43,17 @@ func FuzzCheckpointLoader(f *testing.F) {
 	f.Add(append(append([]byte{}, valid...), '\n'))
 	f.Add(valid[:len(valid)/2])                                      // crash mid-append
 	f.Add([]byte("{\"version\":999,\"key\":\"k\",\"result\":{}}\n")) // future version
-	f.Add([]byte("not json at all\n{\"version\":1}\n\n"))
+	f.Add([]byte(`{"version":1,"key":"CG.A.x64.cielito.n0.s1.i0","result":{"ID":"CG.A.x64.cielito","Model":null,"Sims":{}}}` + "\n")) // legacy pre-registry record
+	f.Add([]byte(`{"version":2,"header":true,"schemes":["mfact","packet"]}` + "\n"))                                                  // bare header
+	f.Add([]byte("not json at all\n{\"version\":2}\n\n"))
 	f.Add([]byte{0x00, 0xff, 0xfe, '\n', '{', '}'})
+
+	// acceptable reports whether err is one of the loader's two
+	// sanctioned failure modes.
+	acceptable := func(err error) bool {
+		return errors.Is(err, ErrCheckpointVersion) ||
+			strings.Contains(err.Error(), "token too long")
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
@@ -47,12 +63,11 @@ func FuzzCheckpointLoader(f *testing.F) {
 		}
 		m, err := LoadCheckpoint(path)
 		if err != nil {
-			// The only acceptable error is the scanner refusing a line
-			// beyond its (64 MB) buffer — unreachable for fuzz-sized
-			// inputs, but spelled out so a new failure mode can't hide.
-			if !strings.Contains(err.Error(), "token too long") {
+			if !acceptable(err) {
 				t.Fatalf("LoadCheckpoint(%q...): %v", truncateForLog(data), err)
 			}
+			// A journal that fails the version gate (or the scanner) keeps
+			// failing after appends; the recovery invariant does not apply.
 			return
 		}
 		if m == nil {
@@ -82,7 +97,7 @@ func FuzzCheckpointLoader(f *testing.F) {
 		fh.Close()
 		m2, err := LoadCheckpoint(path)
 		if err != nil {
-			if !strings.Contains(err.Error(), "token too long") {
+			if !acceptable(err) {
 				t.Fatalf("reload after append: %v", err)
 			}
 			return

@@ -12,7 +12,7 @@ import (
 	"strings"
 	"testing"
 
-	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/workload"
 )
 
@@ -70,15 +70,18 @@ func renderGoldenArtifact(t *testing.T) string {
 		fmt.Fprintf(&b, "trace %s\n", r.ID)
 		fmt.Fprintf(&b, "  measured total=%v comm=%v events=%d commfrac=%.6f\n",
 			r.Measured, r.MeasuredComm, r.Events, r.CommFraction)
+		model := r.Model()
 		fmt.Fprintf(&b, "  model total=%v comm=%v class=%v events=%d\n",
-			r.Model.Total(), r.Model.Comm(), r.Model.Class, r.Model.Events)
-		models := make([]string, 0, len(r.Sims))
-		for m := range r.Sims {
-			models = append(models, string(m))
+			model.Total(), model.Comm(), model.Class, model.Events)
+		models := make([]string, 0, len(r.Schemes))
+		for m, o := range r.Schemes {
+			if o.Kind == scheme.KindSimulation {
+				models = append(models, m)
+			}
 		}
 		sort.Strings(models)
 		for _, m := range models {
-			s := r.Sims[simnet.Model(m)]
+			s := r.Schemes[m]
 			if !s.OK {
 				fmt.Fprintf(&b, "  sim %-12s unsupported\n", m)
 				continue

@@ -17,7 +17,10 @@ type resultsFile struct {
 	Results []*TraceResult `json:"results"`
 }
 
-const resultsVersion = 1
+// resultsVersion 2 is the scheme-registry shape: TraceResult carries a
+// flat Schemes map instead of the version-1 Model/ModelWall/Sims
+// fields, so version-1 files are rejected rather than half-decoded.
+const resultsVersion = 2
 
 // SaveResults writes results as JSON.
 func SaveResults(w io.Writer, rs []*TraceResult) error {

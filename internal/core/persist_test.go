@@ -28,17 +28,17 @@ func TestResultsRoundTrip(t *testing.T) {
 		t.Fatalf("got %d results", len(got))
 	}
 	g := got[0]
-	if g.ID != r.ID || g.Measured != r.Measured || g.ModelWall != r.ModelWall {
+	if g.ID != r.ID || g.Measured != r.Measured || g.ModelWall() != r.ModelWall() {
 		t.Errorf("scalar fields differ: %+v vs %+v", g.ID, r.ID)
 	}
-	if !reflect.DeepEqual(g.Model.Totals, r.Model.Totals) {
+	if !reflect.DeepEqual(g.Model().Totals, r.Model().Totals) {
 		t.Error("model totals differ after round trip")
 	}
 	if !reflect.DeepEqual(g.Features, r.Features) {
 		t.Error("features differ after round trip")
 	}
-	if !reflect.DeepEqual(g.Sims, r.Sims) {
-		t.Error("sim outcomes differ after round trip")
+	if !reflect.DeepEqual(g.Schemes, r.Schemes) {
+		t.Error("scheme outcomes differ after round trip")
 	}
 	// The reloaded results must drive the experiment builders.
 	if d1, ok1 := r.DiffTotal("packetflow"); ok1 {

@@ -45,7 +45,16 @@ func Index(name string) int {
 // Extract computes the feature vector for a measured trace and its
 // MFACT result. Time-valued features are in seconds; counts are raw.
 func Extract(tr *trace.Trace, model *mfact.Result) []float64 {
-	n := tr.Meta.NumRanks
+	return ExtractSource(tr, model)
+}
+
+// ExtractSource is Extract over any trace representation: the walk
+// goes through the Source access path only, so array-of-structs and
+// columnar traces produce bit-identical feature vectors.
+func ExtractSource(src trace.Source, model *mfact.Result) []float64 {
+	meta := src.TraceMeta()
+	comms := src.TraceComms()
+	n := meta.NumRanks
 	ranks := float64(max(n, 1))
 
 	var (
@@ -61,9 +70,11 @@ func Extract(tr *trace.Trace, model *mfact.Result) []float64 {
 		destsPerSrc[r] = make(map[int32]bool)
 	}
 
+	var e trace.Event
 	for r := 0; r < n; r++ {
-		for i := range tr.Ranks[r] {
-			e := &tr.Ranks[r][i]
+		m := src.RankLen(r)
+		for i := 0; i < m; i++ {
+			src.EventAt(r, i, &e)
 			dur := e.Duration().Seconds()
 			if e.Op == trace.OpCompute {
 				tcp += dur
@@ -73,7 +84,7 @@ func Extract(tr *trace.Trace, model *mfact.Result) []float64 {
 			tc += dur
 			nMembers := 0
 			if e.Op.IsCollective() {
-				nMembers = tr.Comms.Size(e.Comm)
+				nMembers = comms.Size(e.Comm)
 			}
 			totalBytes += e.TotalSendBytes(nMembers)
 			switch e.Op {
@@ -123,7 +134,7 @@ func Extract(tr *trace.Trace, model *mfact.Result) []float64 {
 		}
 	}
 
-	total := tr.MeasuredTotal().Seconds()
+	total := trace.SourceMeasuredTotal(src).Seconds()
 	// Per-rank averages for time features.
 	tcp /= ranks
 	tc /= ranks
@@ -150,7 +161,7 @@ func Extract(tr *trace.Trace, model *mfact.Result) []float64 {
 		crComm = float64(p2pBytes) / float64(totalDests)
 	}
 
-	rpn := tr.Meta.RanksPerNode
+	rpn := meta.RanksPerNode
 	if rpn <= 0 {
 		rpn = 1
 	}

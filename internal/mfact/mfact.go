@@ -116,26 +116,45 @@ func (r *Result) TotalAt(cfg NetConfig) simtime.Time {
 // configurations (StandardSweep if nil) and classifies the
 // application.
 func Model(tr *trace.Trace, mach *machine.Config, configs []NetConfig) (*Result, error) {
-	return run(tr, mach, configs, false)
+	return run(tr, mach, configs, false, nil)
 }
 
 // ModelParallel is Model using the goroutine-per-rank replayer.
 func ModelParallel(tr *trace.Trace, mach *machine.Config, configs []NetConfig) (*Result, error) {
-	return run(tr, mach, configs, true)
+	return run(tr, mach, configs, true, nil)
 }
 
 // ModelSource is Model over any trace representation (array-of-structs
 // or columnar); by the determinism contract both replay bit-identically.
 func ModelSource(src trace.Source, mach *machine.Config, configs []NetConfig) (*Result, error) {
-	return run(src, mach, configs, false)
+	return run(src, mach, configs, false, nil)
 }
 
 // ModelParallelSource is ModelParallel over any trace representation.
 func ModelParallelSource(src trace.Source, mach *machine.Config, configs []NetConfig) (*Result, error) {
-	return run(src, mach, configs, true)
+	return run(src, mach, configs, true, nil)
 }
 
-func run(src trace.Source, mach *machine.Config, configs []NetConfig, parallel bool) (*Result, error) {
+// Session owns replay state reused across traces — the sequential
+// replayer's clock-vector free list — so a campaign worker modeling
+// hundreds of traces amortizes its per-trace allocations. Recycled
+// vectors are fully overwritten before use, so session replays stay
+// bit-identical to stateless ones. A Session is not safe for
+// concurrent use.
+type Session struct {
+	pool vecPool
+}
+
+// NewSession returns an empty Session.
+func NewSession() *Session { return &Session{} }
+
+// Model is ModelSource drawing clock vectors from the session's free
+// list.
+func (s *Session) Model(src trace.Source, mach *machine.Config, configs []NetConfig) (*Result, error) {
+	return run(src, mach, configs, false, &s.pool)
+}
+
+func run(src trace.Source, mach *machine.Config, configs []NetConfig, parallel bool, pool *vecPool) (*Result, error) {
 	if configs == nil {
 		configs = StandardSweep()
 	}
@@ -155,7 +174,7 @@ func run(src trace.Source, mach *machine.Config, configs []NetConfig, parallel b
 	if parallel {
 		st, err = replayParallel(src, mach, configs)
 	} else {
-		st, err = replaySequential(src, mach, configs)
+		st, err = replaySequential(src, mach, configs, pool)
 	}
 	if err != nil {
 		return nil, err

@@ -102,11 +102,19 @@ func (p *vecPool) put(v []simtime.Time) {
 	}
 }
 
-func replaySequential(src trace.Source, mach *machine.Config, configs []NetConfig) (*state, error) {
+func replaySequential(src trace.Source, mach *machine.Config, configs []NetConfig, pool *vecPool) (*state, error) {
 	st := newState(src.TraceMeta().NumRanks, newCostModel(mach, configs))
 	comms := src.TraceComms()
 	n := src.TraceMeta().NumRanks
-	pool := &vecPool{k: st.K}
+	if pool == nil {
+		pool = &vecPool{}
+	}
+	if pool.k != st.K {
+		// Recycled vectors have the wrong length for this sweep; drop
+		// them and let get() mint fresh ones.
+		pool.free = pool.free[:0]
+		pool.k = st.K
+	}
 	ranks := make([]*seqRank, n)
 	for r := 0; r < n; r++ {
 		ranks[r] = &seqRank{

@@ -43,8 +43,9 @@ type lowerer struct {
 // lower translates a validated trace into primitive replay programs:
 // point-to-point and compute events copy through (with requests
 // renumbered into a fresh namespace), and every collective expands into
-// the point-to-point rounds of its algorithm.
-func lower(src trace.Source) (*program, error) {
+// the point-to-point rounds of its algorithm. A non-nil sess supplies
+// the arenas, reused across traces.
+func lower(src trace.Source, sess *Session) (*program, error) {
 	n := src.TraceMeta().NumRanks
 	lw := &lowerer{
 		src:      src,
@@ -73,8 +74,8 @@ func lower(src trace.Source) (*program, error) {
 		totalOps += lw.nOps[r]
 		totalReqs += lw.nReqs[r]
 	}
-	opArena := make([]rop, totalOps)
-	reqArena := make([]int32, totalReqs)
+	opArena := sess.ops(totalOps)
+	reqArena := sess.reqs(totalReqs)
 	lw.out = make([][]rop, n)
 	lw.used = make([]int, n)
 	lw.reqsOut = make([][]int32, n)

@@ -108,6 +108,12 @@ func Replay(tr *trace.Trace, model simnet.Model, mach *machine.Config, netCfg si
 // and columnar traces replay identically (and, by the determinism
 // contract, bit-identically).
 func ReplaySource(src trace.Source, model simnet.Model, mach *machine.Config, netCfg simnet.Config, opts Options) (*Result, error) {
+	return replaySource(src, model, mach, netCfg, opts, nil)
+}
+
+// replaySource is the shared replay body; a non-nil sess supplies the
+// lowering and request-flag arenas.
+func replaySource(src trace.Source, model simnet.Model, mach *machine.Config, netCfg simnet.Config, opts Options, sess *Session) (*Result, error) {
 	meta := src.TraceMeta()
 	if !simnet.Supports(model, meta.UsesCommSplit, meta.UsesThreadMultiple) {
 		return nil, fmt.Errorf("%w: %s on %s", simnet.ErrUnsupportedTrace, model, meta.ID())
@@ -115,7 +121,7 @@ func ReplaySource(src trace.Source, model simnet.Model, mach *machine.Config, ne
 	if len(mach.NodeOf) < meta.NumRanks {
 		return nil, fmt.Errorf("mpisim: machine hosts %d ranks, trace has %d", len(mach.NodeOf), meta.NumRanks)
 	}
-	prog, err := lower(src)
+	prog, err := lower(src, sess)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +136,7 @@ func ReplaySource(src trace.Source, model simnet.Model, mach *machine.Config, ne
 		mach: mach,
 		src:  src,
 		opts: opts,
+		sess: sess,
 	}
 	if d.opts.CompScale == 0 {
 		d.opts.CompScale = 1
@@ -226,6 +233,7 @@ type driver struct {
 	mach *machine.Config
 	src  trace.Source
 	opts Options
+	sess *Session
 
 	ranks         []*rankState
 	chans         map[chanKey]*channel
@@ -260,7 +268,7 @@ func (d *driver) run(prog *program) {
 	for _, c := range prog.reqCount {
 		totalReqs += c
 	}
-	flags := make([]bool, 2*totalReqs)
+	flags := d.sess.flagArena(int(2 * totalReqs))
 	for r, off := 0, int32(0); r < n; r++ {
 		c := prog.reqCount[r]
 		rs := &rankState{

@@ -1,0 +1,71 @@
+package mpisim
+
+import (
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/trace"
+)
+
+// Session owns the flat arenas a replay lowers into — the rop arena,
+// the wait-set arena, and the request-flag arena — so a campaign
+// worker replaying hundreds of traces amortizes its three big
+// allocations across them instead of re-making them per trace. The
+// fill pass overwrites every arena element it hands out (and the flag
+// arena is cleared explicitly), so reuse cannot leak state between
+// traces and session replays stay bit-identical to stateless ones.
+//
+// A Session is not safe for concurrent use; give each worker its own.
+type Session struct {
+	opArena  []rop
+	reqArena []int32
+	flags    []bool
+}
+
+// NewSession returns an empty Session.
+func NewSession() *Session { return &Session{} }
+
+// Replay is ReplaySource drawing its arenas from the session.
+func (s *Session) Replay(src trace.Source, model simnet.Model, mach *machine.Config, netCfg simnet.Config, opts Options) (*Result, error) {
+	return replaySource(src, model, mach, netCfg, opts, s)
+}
+
+// ops returns a rop arena of length n, reusing the session's backing
+// array when it is large enough. Every element is overwritten by the
+// fill pass. A nil session always allocates.
+func (s *Session) ops(n int) []rop {
+	if s == nil {
+		return make([]rop, n)
+	}
+	if cap(s.opArena) < n {
+		s.opArena = make([]rop, n)
+	}
+	s.opArena = s.opArena[:n]
+	return s.opArena
+}
+
+// reqs is ops for the wait-set arena.
+func (s *Session) reqs(n int) []int32 {
+	if s == nil {
+		return make([]int32, n)
+	}
+	if cap(s.reqArena) < n {
+		s.reqArena = make([]int32, n)
+	}
+	s.reqArena = s.reqArena[:n]
+	return s.reqArena
+}
+
+// flagArena returns a zeroed bool arena of length n; the driver's
+// request-state tracking relies on starting from all-false.
+func (s *Session) flagArena(n int) []bool {
+	if s == nil {
+		return make([]bool, n)
+	}
+	if cap(s.flags) < n {
+		s.flags = make([]bool, n)
+	} else {
+		s.flags = s.flags[:n]
+		clear(s.flags)
+	}
+	return s.flags
+}

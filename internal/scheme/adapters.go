@@ -1,0 +1,107 @@
+package scheme
+
+import (
+	"time"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/mfact"
+	"hpctradeoff/internal/mpisim"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/trace"
+)
+
+// The four built-in schemes of the study, registered in the order the
+// paper reports them: the MFACT model, then the packet, flow, and
+// packet-flow simulations.
+func init() {
+	Register(mfactScheme{})
+	for _, m := range simnet.Models() {
+		Register(simScheme{model: m})
+	}
+}
+
+// Adapters return (Outcome, err) with the Outcome's identity and Wall
+// always filled, leaving the caller to decide which errors are fatal
+// for the whole trace (blown budgets) and which stay per-scheme
+// records (capability gaps, deadlocks).
+
+// mfactScheme adapts the MFACT modeling tool.
+type mfactScheme struct{}
+
+func (mfactScheme) Name() string { return MFACT }
+func (mfactScheme) Kind() Kind   { return KindModel }
+
+// Run replays the standard configuration sweep. The budget options are
+// not applied: one logical-clock pass is orders of magnitude cheaper
+// than the simulations the budget defends against.
+func (mfactScheme) Run(src trace.Source, mach *machine.Config, _ Options) (Outcome, error) {
+	start := time.Now()
+	res, err := mfact.ModelSource(src, mach, nil)
+	return mfactOutcome(res, err, time.Since(start))
+}
+
+func (mfactScheme) NewSession() Session { return &mfactSession{sess: mfact.NewSession()} }
+
+type mfactSession struct{ sess *mfact.Session }
+
+func (s *mfactSession) Run(src trace.Source, mach *machine.Config, _ Options) (Outcome, error) {
+	start := time.Now()
+	res, err := s.sess.Model(src, mach, nil)
+	return mfactOutcome(res, err, time.Since(start))
+}
+
+func mfactOutcome(res *mfact.Result, err error, wall time.Duration) (Outcome, error) {
+	out := Outcome{Scheme: MFACT, Kind: KindModel, Wall: wall}
+	if err != nil {
+		return out, err
+	}
+	out.OK = true
+	out.Total = res.Total()
+	out.Comm = res.Comm()
+	out.Events = uint64(res.Events)
+	out.Model = res
+	return out, nil
+}
+
+// simScheme adapts one mpisim replay over one simnet model.
+type simScheme struct{ model simnet.Model }
+
+func (s simScheme) Name() string { return string(s.model) }
+func (simScheme) Kind() Kind     { return KindSimulation }
+
+func (s simScheme) Run(src trace.Source, mach *machine.Config, opts Options) (Outcome, error) {
+	start := time.Now()
+	res, err := mpisim.ReplaySource(src, s.model, mach, simnet.Config{}, simOpts(opts))
+	return simOutcome(string(s.model), res, err, time.Since(start))
+}
+
+func (s simScheme) NewSession() Session {
+	return &simSession{model: s.model, sess: mpisim.NewSession()}
+}
+
+type simSession struct {
+	model simnet.Model
+	sess  *mpisim.Session
+}
+
+func (s *simSession) Run(src trace.Source, mach *machine.Config, opts Options) (Outcome, error) {
+	start := time.Now()
+	res, err := s.sess.Replay(src, s.model, mach, simnet.Config{}, simOpts(opts))
+	return simOutcome(string(s.model), res, err, time.Since(start))
+}
+
+func simOpts(opts Options) mpisim.Options {
+	return mpisim.Options{Deadline: opts.Deadline, MaxEvents: opts.MaxEvents}
+}
+
+func simOutcome(name string, res *mpisim.Result, err error, wall time.Duration) (Outcome, error) {
+	out := Outcome{Scheme: name, Kind: KindSimulation, Wall: wall}
+	if err != nil {
+		return out, err
+	}
+	out.OK = true
+	out.Total = res.Total
+	out.Comm = res.Comm
+	out.Events = res.Events
+	return out, nil
+}

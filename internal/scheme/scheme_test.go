@@ -1,0 +1,154 @@
+package scheme_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/workload"
+)
+
+// The four built-in schemes register at init in the paper's reporting
+// order; this order is the campaign's deterministic iteration order.
+func TestBuiltinRegistrationOrder(t *testing.T) {
+	want := []string{scheme.MFACT, scheme.Packet, scheme.Flow, scheme.PacketFlow}
+	if got := scheme.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		s, ok := scheme.Get(n)
+		if !ok {
+			t.Fatalf("Get(%q) missing", n)
+		}
+		if s.Name() != n {
+			t.Errorf("Get(%q).Name() = %q", n, s.Name())
+		}
+	}
+	if s, _ := scheme.Get(scheme.MFACT); s.Kind() != scheme.KindModel {
+		t.Error("mfact is not a model")
+	}
+	for _, n := range want[1:] {
+		if s, _ := scheme.Get(n); s.Kind() != scheme.KindSimulation {
+			t.Errorf("%s is not a simulation", n)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	all, err := scheme.Resolve(nil)
+	if err != nil || len(all) != len(scheme.Names()) {
+		t.Fatalf("Resolve(nil) = %d schemes, err %v", len(all), err)
+	}
+	subset, err := scheme.Resolve([]string{scheme.Packet, scheme.MFACT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) != 2 || subset[0].Name() != scheme.Packet || subset[1].Name() != scheme.MFACT {
+		t.Fatalf("Resolve preserves selection order: got %v", subset)
+	}
+	if _, err := scheme.Resolve([]string{"warp-drive"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{" , ,", nil},
+		{"mfact", []string{"mfact"}},
+		{"mfact, packet ,flow", []string{"mfact", "packet", "flow"}},
+	}
+	for _, c := range cases {
+		if got := scheme.ParseList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// A fifth backend registers through the public API alone — the promise
+// that lets an out-of-tree scheme join the campaign without touching
+// internal/core.
+func TestRegisterFifthScheme(t *testing.T) {
+	toy := scheme.Func{
+		SchemeName: "toy",
+		SchemeKind: scheme.KindModel,
+		RunFunc: func(src trace.Source, mach *machine.Config, opts scheme.Options) (scheme.Outcome, error) {
+			return scheme.Outcome{
+				Scheme: "toy", Kind: scheme.KindModel, OK: true,
+				Total: 1, Comm: 1, Events: uint64(trace.SourceNumEvents(src)),
+			}, nil
+		},
+	}
+	scheme.Register(toy)
+	defer scheme.Unregister("toy")
+
+	names := scheme.Names()
+	if names[len(names)-1] != "toy" {
+		t.Fatalf("toy not appended to registry order: %v", names)
+	}
+	ss, err := scheme.Resolve([]string{"toy"})
+	if err != nil || len(ss) != 1 {
+		t.Fatalf("Resolve(toy): %v, %v", ss, err)
+	}
+
+	// Duplicate registration is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	scheme.Register(toy)
+}
+
+// Session results must be bit-identical to the stateless Run — across
+// repeated traces, so recycled arenas and free lists are proven to
+// carry no state between replays.
+func TestSessionBitIdenticalToRun(t *testing.T) {
+	ps := []workload.Params{
+		{App: "CG", Class: "S", Ranks: 8, Machine: "edison", Seed: 61},
+		{App: "FT", Class: "S", Ranks: 8, Machine: "hopper", Seed: 62},
+		{App: "CG", Class: "S", Ranks: 8, Machine: "edison", Seed: 61}, // repeat: reuse paths
+	}
+	for _, name := range scheme.Names() {
+		s, _ := scheme.Get(name)
+		sess := s.NewSession()
+		for i, p := range ps {
+			cols, err := workload.MaterializeColumns(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, werr := s.Run(cols, mach, scheme.Options{})
+			got, gerr := sess.Run(cols, mach, scheme.Options{})
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s trace %d: Run err %v, Session err %v", name, i, werr, gerr)
+			}
+			// Wall clocks differ run to run; every predicted quantity may not.
+			want.Wall, got.Wall = 0, 0
+			wm, gm := want.Model, got.Model
+			want.Model, got.Model = nil, nil
+			if want != got {
+				t.Fatalf("%s trace %d: Session diverged:\ngot  %+v\nwant %+v", name, i, got, want)
+			}
+			if (wm == nil) != (gm == nil) {
+				t.Fatalf("%s trace %d: model presence differs", name, i)
+			}
+			if wm != nil {
+				if gm.Events != wm.Events || gm.Class != wm.Class {
+					t.Fatalf("%s trace %d: model events/class differ", name, i)
+				}
+				if !reflect.DeepEqual(gm.Totals, wm.Totals) || !reflect.DeepEqual(gm.Comms, wm.Comms) {
+					t.Fatalf("%s trace %d: model sweep differs", name, i)
+				}
+			}
+		}
+	}
+}

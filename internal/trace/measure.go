@@ -1,0 +1,89 @@
+package trace
+
+import "hpctradeoff/internal/simtime"
+
+// Source-generic measured aggregates, so the campaign layer can
+// characterize a trace (Table I, the accuracy baselines) without
+// caring which representation it holds. Both built-in representations
+// precompute these natively; the interface assertion takes that fast
+// path, and any other Source falls back to an EventAt walk with the
+// same semantics.
+
+// measured is the fast path for sources that implement their own
+// aggregates.
+type measured interface {
+	NumEvents() int
+	MeasuredTotal() simtime.Time
+	MeasuredComm() simtime.Time
+	CommFraction() float64
+}
+
+var (
+	_ measured = (*Trace)(nil)
+	_ measured = (*Columns)(nil)
+)
+
+// SourceNumEvents returns the total number of events across all ranks.
+func SourceNumEvents(src Source) int {
+	if m, ok := src.(measured); ok {
+		return m.NumEvents()
+	}
+	n := 0
+	for r := 0; r < src.TraceMeta().NumRanks; r++ {
+		n += src.RankLen(r)
+	}
+	return n
+}
+
+// SourceMeasuredTotal returns the measured application time: the
+// latest Exit across all ranks (ranks start at time zero).
+func SourceMeasuredTotal(src Source) simtime.Time {
+	if m, ok := src.(measured); ok {
+		return m.MeasuredTotal()
+	}
+	var total simtime.Time
+	var e Event
+	for r := 0; r < src.TraceMeta().NumRanks; r++ {
+		if n := src.RankLen(r); n > 0 {
+			src.EventAt(r, n-1, &e)
+			total = simtime.Max(total, e.Exit)
+		}
+	}
+	return total
+}
+
+// SourceMeasuredComm returns the measured time spent inside
+// communication calls, summed per rank and averaged over ranks.
+func SourceMeasuredComm(src Source) simtime.Time {
+	if m, ok := src.(measured); ok {
+		return m.MeasuredComm()
+	}
+	n := src.TraceMeta().NumRanks
+	if n == 0 {
+		return 0
+	}
+	var sum simtime.Time
+	var e Event
+	for r := 0; r < n; r++ {
+		for i := 0; i < src.RankLen(r); i++ {
+			src.EventAt(r, i, &e)
+			if e.Op != OpCompute {
+				sum += e.Duration()
+			}
+		}
+	}
+	return sum / simtime.Time(n)
+}
+
+// SourceCommFraction returns SourceMeasuredComm over
+// SourceMeasuredTotal, in [0,1].
+func SourceCommFraction(src Source) float64 {
+	if m, ok := src.(measured); ok {
+		return m.CommFraction()
+	}
+	total := SourceMeasuredTotal(src)
+	if total <= 0 {
+		return 0
+	}
+	return float64(SourceMeasuredComm(src)) / float64(total)
+}

@@ -43,26 +43,58 @@ func MaterializeBudget(p Params, deadline time.Time, maxEvents uint64) (*trace.T
 	return stamp(tr, p, deadline, maxEvents)
 }
 
-// stamp executes the program on its machine's detailed simulator with
-// noise and writes the measured timestamps into the trace.
-func stamp(tr *trace.Trace, p Params, deadline time.Time, maxEvents uint64) (*trace.Trace, error) {
-	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
+// MaterializeColumns is Materialize building and stamping the columnar
+// representation directly: generation, ground-truth execution, and
+// write-back all go through the Source access path, so no
+// array-of-structs trace is ever built.
+func MaterializeColumns(p Params) (*trace.Columns, error) {
+	return MaterializeColumnsBudget(p, time.Time{}, 0)
+}
+
+// MaterializeColumnsBudget is MaterializeColumns with the
+// MaterializeBudget bounds.
+func MaterializeColumnsBudget(p Params, deadline time.Time, maxEvents uint64) (*trace.Columns, error) {
+	c, err := GenerateColumns(p)
 	if err != nil {
 		return nil, err
 	}
-	if tr.Meta.RanksPerNode == 0 {
+	if err := stampSource(c, p, deadline, maxEvents); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// stamp executes the program on its machine's detailed simulator with
+// noise and writes the measured timestamps into the trace.
+func stamp(tr *trace.Trace, p Params, deadline time.Time, maxEvents uint64) (*trace.Trace, error) {
+	if err := stampSource(tr, p, deadline, maxEvents); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// stampSource is stamp over any trace representation; the ground-truth
+// replay and its timestamp write-back run through the Source path, so
+// array-of-structs and columnar builds stamp bit-identically.
+func stampSource(src trace.Source, p Params, deadline time.Time, maxEvents uint64) error {
+	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
+	if err != nil {
+		return err
+	}
+	meta := src.TraceMeta()
+	if meta.RanksPerNode == 0 {
 		// Record the machine's actual placement density so the RN/N
 		// features reflect the collection configuration.
-		tr.Meta.RanksPerNode = mach.RanksPerNode
+		meta.RanksPerNode = mach.RanksPerNode
 	}
-	_, err = mpisim.Replay(tr, simnet.PacketFlow, mach, simnet.Config{}, mpisim.Options{
+	_, err = mpisim.ReplaySource(src, simnet.PacketFlow, mach, simnet.Config{}, mpisim.Options{
 		Record:    true,
 		Perturb:   mpisim.DefaultNoise(p.Seed, p.Ranks),
 		Deadline:  deadline,
 		MaxEvents: maxEvents,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("workload: ground-truth execution of %s: %w", tr.Meta.ID(), err)
+		return fmt.Errorf("workload: ground-truth execution of %s: %w", meta.ID(), err)
 	}
-	return tr, nil
+	return nil
 }
