@@ -1,15 +1,16 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds study figures clean
+.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds chaos-short chaos study figures clean
 
 all: check
 
 # check is the default gate: build, vet, full test suite, the
 # race-detector pass over the concurrency-bearing packages, the fuzz
-# seed corpus, and a short benchmark smoke run (proving the harness
-# and every scenario still execute; numbers are not recorded).
-check: build vet test test-race fuzz-seeds bench-short
+# seed corpus, a short benchmark smoke run (proving the harness and
+# every scenario still execute; numbers are not recorded), and the
+# bounded chaos soak.
+check: build vet test test-race fuzz-seeds bench-short chaos-short
 
 build:
 	$(GO) build ./...
@@ -59,6 +60,19 @@ fuzz-seeds:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzCheckpointLoader -fuzztime=$(FUZZTIME) ./internal/core/
+
+# chaos-short is the bounded soak wired into `make check`: 20 seeded
+# fault schedules against the campaign pipeline, each run twice for
+# reproducibility, killed, and resumed (see cmd/chaos for the
+# invariants). Deterministic: the same seeds always inject the same
+# faults.
+CHAOS_SEEDS ?= 20
+chaos-short:
+	$(GO) run ./cmd/chaos -seed 1 -runs $(CHAOS_SEEDS)
+
+# chaos is the long soak: more seeds, a larger suite, all four schemes.
+chaos:
+	$(GO) run ./cmd/chaos -seed 1 -runs 200 -traces 12 -schemes mfact,packet,flow,packetflow
 
 # The full 235-trace study (Tables I-II, Figures 1-5, Table IV, rates).
 study:

@@ -1,0 +1,338 @@
+// Command chaos soak-tests the campaign pipeline under deterministic,
+// seeded fault schedules. For each seed it derives a random-but-
+// reproducible schedule of injected faults (scheme errors and panics,
+// budget blowups, DES-step faults, torn checkpoint appends, sync
+// failures), runs the campaign under it twice, then disarms and
+// resumes from the journal, asserting three invariants:
+//
+//  1. Reproducibility: two runs with the same seed fire the identical
+//     fault schedule and produce identical results.
+//  2. Durability: no result committed to the checkpoint journal before
+//     a (simulated) kill is ever lost or rewritten by the recovery run.
+//  3. Isolation: traces that survived the fault run untouched (all
+//     schemes OK, original seed, not degraded) are bit-identical to a
+//     fault-free run; degraded traces still carry the fault-free model
+//     prediction.
+//
+// Usage:
+//
+//	chaos -seed 1              # one schedule
+//	chaos -seed 1 -runs 20     # soak seeds 1..20 (make chaos-short)
+//	chaos -seed 7 -v           # print the schedule and every firing
+//
+// Schedules use only count- and probability-based triggers (never
+// wall-clock stalls) and the campaign runs with one worker, so a seed's
+// behavior is identical across machines and runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hpctradeoff/internal/core"
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/faultinject"
+	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/workload"
+)
+
+var verbose bool
+
+func vlogf(format string, args ...any) {
+	if verbose {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// suiteApps rotates through the full application set so soaking many
+// seeds covers every generator.
+var suiteApps = []string{
+	"CG", "MG", "FT", "IS", "LU", "BT", "EP", "DT",
+	"BigFFT", "CrystalRouter", "AMG", "MiniFE", "LULESH",
+	"CNS", "CMC", "Nekbone", "MultiGrid", "FillBoundary",
+}
+
+func buildSuite(n int) []workload.Params {
+	machines := []string{"cielito", "edison", "hopper"}
+	ps := make([]workload.Params, n)
+	for i := 0; i < n; i++ {
+		ps[i] = workload.Params{
+			App: suiteApps[i%len(suiteApps)], Class: "S", Ranks: 16,
+			Machine: machines[i%len(machines)], Seed: int64(1000 + i),
+		}
+	}
+	return ps
+}
+
+// makeSchedule derives seed's fault schedule: one to three rules drawn
+// from the campaign's failure surfaces. Only count/probability triggers
+// — wall-clock actions would make the schedule machine-dependent.
+func makeSchedule(seed int64, schemes []string, traces int) []faultinject.Rule {
+	rng := rand.New(rand.NewSource(seed))
+	var rules []faultinject.Rule
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0: // per-scheme error: a flaky backend
+			rules = append(rules, faultinject.Rule{
+				Site: "scheme/run", Label: schemes[rng.Intn(len(schemes))],
+				Action: faultinject.ActError,
+				Every:  uint64(1 + rng.Intn(3)), MaxFires: 1 + rng.Intn(4),
+			})
+		case 1: // budget blowup: the whole trace fails, ladder degrades it
+			rules = append(rules, faultinject.Rule{
+				Site: "scheme/run", Label: schemes[rng.Intn(len(schemes))],
+				Action: faultinject.ActError, Err: des.ErrBudgetExceeded,
+				Hits: []uint64{uint64(1 + rng.Intn(traces))}, MaxFires: 1,
+			})
+		case 2: // panic inside a scheme adapter: exercises isolation + retry
+			rules = append(rules, faultinject.Rule{
+				Site: "scheme/run", Label: schemes[rng.Intn(len(schemes))],
+				Action: faultinject.ActPanic,
+				Hits:   []uint64{uint64(1 + rng.Intn(traces))}, MaxFires: 1,
+			})
+		case 3: // torn checkpoint append: the mid-write kill
+			rules = append(rules, faultinject.Rule{
+				Site: "core/checkpoint-append", Action: faultinject.ActTorn,
+				Hits: []uint64{uint64(1 + rng.Intn(traces))}, MaxFires: 1,
+			})
+		case 4: // probabilistic DES-step fault: sporadic engine cancellation
+			rules = append(rules, faultinject.Rule{
+				Site: "des/step", Action: faultinject.ActError,
+				Prob: 1e-5, MaxFires: 1 + rng.Intn(2),
+			})
+		}
+	}
+	return rules
+}
+
+func ruleString(r faultinject.Rule) string {
+	s := r.Site
+	if r.Label != "" {
+		s += "[" + r.Label + "]"
+	}
+	switch {
+	case len(r.Hits) > 0:
+		s += fmt.Sprintf(" hits=%v", r.Hits)
+	case r.Every > 0:
+		s += fmt.Sprintf(" every=%d", r.Every)
+	case r.Prob > 0:
+		s += fmt.Sprintf(" prob=%g", r.Prob)
+	}
+	act := r.Action
+	if act == "" {
+		act = faultinject.ActError
+	}
+	s += fmt.Sprintf(" action=%s", act)
+	if r.Err != nil {
+		s += fmt.Sprintf(" err=%v", r.Err)
+	}
+	if r.MaxFires > 0 {
+		s += fmt.Sprintf(" max=%d", r.MaxFires)
+	}
+	return s
+}
+
+// normalize renders a result for equality checks, dropping wall-clock
+// durations (the only nondeterministic fields).
+func normalize(r *core.TraceResult) string {
+	if r == nil {
+		return "<failed>"
+	}
+	c := *r
+	c.Schemes = make(map[string]scheme.Outcome, len(r.Schemes))
+	for k, v := range r.Schemes {
+		v.Wall = 0
+		c.Schemes[k] = v
+	}
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return fmt.Sprintf("<unmarshalable: %v>", err)
+	}
+	return string(b)
+}
+
+func firedString(fs []faultinject.Firing) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// faultRun executes the campaign under the armed schedule and returns
+// the (possibly partial) results plus the firing log. An infrastructure
+// error (torn append, failed sync) is the simulated kill, not a soak
+// failure.
+func faultRun(ps []workload.Params, schemes []string, seed int64, ckpt string) ([]*core.TraceResult, []faultinject.Firing, error) {
+	rs, _, err := core.RunCampaign(ps, core.CampaignConfig{
+		Workers: 1,
+		Schemes: schemes,
+		Policy: core.FailurePolicy{
+			KeepGoing: true, MaxRetries: 1, Backoff: 1,
+			Seed: seed, BreakerThreshold: 3, DegradeToModel: true,
+		},
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		vlogf("  campaign stopped (simulated kill): %v", err)
+	}
+	return rs, faultinject.Fired(), nil
+}
+
+// soakOne runs the full protocol for one seed. Returned errors are
+// invariant violations.
+func soakOne(seed int64, ps []workload.Params, schemes []string, baseline []*core.TraceResult, dir string) error {
+	rules := makeSchedule(seed, schemes, len(ps))
+	vlogf("seed %d: %d rule(s):", seed, len(rules))
+	for _, r := range rules {
+		vlogf("  %s", ruleString(r))
+	}
+
+	// Two armed runs: the schedule and the results must be identical.
+	ckptA := filepath.Join(dir, fmt.Sprintf("seed%d-a.jsonl", seed))
+	ckptB := filepath.Join(dir, fmt.Sprintf("seed%d-b.jsonl", seed))
+	if err := faultinject.Arm(seed, rules); err != nil {
+		return fmt.Errorf("arm: %w", err)
+	}
+	rsA, firedA, err := faultRun(ps, schemes, seed, ckptA)
+	if err != nil {
+		return err
+	}
+	if err := faultinject.Arm(seed, rules); err != nil {
+		return fmt.Errorf("re-arm: %w", err)
+	}
+	rsB, firedB, err := faultRun(ps, schemes, seed, ckptB)
+	faultinject.Disarm()
+	if err != nil {
+		return err
+	}
+	vlogf("  fired: %s", firedString(firedA))
+	if a, b := firedString(firedA), firedString(firedB); a != b {
+		return fmt.Errorf("fault schedule not reproducible:\n  run1: %s\n  run2: %s", a, b)
+	}
+	for i := range ps {
+		if a, b := normalize(rsA[i]), normalize(rsB[i]); a != b {
+			return fmt.Errorf("results not reproducible for %s:\n  run1: %s\n  run2: %s",
+				core.CampaignKey(ps[i]), a, b)
+		}
+	}
+
+	// What the first run committed before any kill.
+	committed, err := core.LoadCheckpoint(ckptA)
+	if err != nil {
+		return fmt.Errorf("journal after fault run must load: %w", err)
+	}
+
+	// Recovery: resume the first run's journal with faults disarmed.
+	final, rep, err := core.RunCampaign(ps, core.CampaignConfig{
+		Workers:        1,
+		Schemes:        schemes,
+		Policy:         core.FailurePolicy{KeepGoing: true},
+		CheckpointPath: ckptA,
+		Resume:         true,
+	})
+	if err != nil {
+		return fmt.Errorf("recovery run failed: %w", err)
+	}
+	vlogf("  recovery: %s", rep.Summary())
+
+	// Durability: every committed result survives recovery unchanged.
+	after, err := core.LoadCheckpoint(ckptA)
+	if err != nil {
+		return fmt.Errorf("journal after recovery must load: %w", err)
+	}
+	for key, r := range committed {
+		fr, ok := after[key]
+		if !ok {
+			return fmt.Errorf("committed result %s lost during recovery", key)
+		}
+		if normalize(fr) != normalize(r) {
+			return fmt.Errorf("committed result %s rewritten during recovery", key)
+		}
+	}
+
+	// Isolation: untouched survivors match the fault-free baseline;
+	// every trace converged to some result.
+	for i, p := range ps {
+		r := final[i]
+		if r == nil {
+			return fmt.Errorf("trace %s did not converge after recovery", core.CampaignKey(p))
+		}
+		if r.Degraded {
+			// Degraded results keep the fault-free model prediction.
+			bo, fo := baseline[i].Schemes[scheme.MFACT], r.Schemes[scheme.MFACT]
+			if !fo.OK || fo.Total != bo.Total || fo.Events != bo.Events {
+				return fmt.Errorf("degraded trace %s lost the model prediction: %+v vs %+v",
+					core.CampaignKey(p), fo, bo)
+			}
+			continue
+		}
+		if r.Params.Seed != p.Seed {
+			// A retried trace ran with a derived seed; its ground truth
+			// legitimately differs from the baseline's.
+			continue
+		}
+		survived := true
+		for _, o := range r.Schemes {
+			if !o.OK {
+				survived = false
+			}
+		}
+		if survived && normalize(r) != normalize(baseline[i]) {
+			return fmt.Errorf("surviving trace %s differs from fault-free run:\n  fault: %s\n  clean: %s",
+				core.CampaignKey(p), normalize(r), normalize(baseline[i]))
+		}
+	}
+	return nil
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "first fault-schedule seed")
+	runs := flag.Int("runs", 1, "number of consecutive seeds to soak")
+	traces := flag.Int("traces", 6, "suite size (apps rotate through the full set)")
+	schemesFlag := flag.String("schemes", "mfact,packet", "scheme selection for the soak")
+	flag.BoolVar(&verbose, "v", false, "print schedules, firings, and recovery summaries")
+	flag.Parse()
+
+	schemes := scheme.ParseList(*schemesFlag)
+	if len(schemes) == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: empty scheme selection")
+		os.Exit(2)
+	}
+	ps := buildSuite(*traces)
+
+	dir, err := os.MkdirTemp("", "chaos-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	// The fault-free baseline every seed's survivors are held against.
+	baseline, _, err := core.RunCampaign(ps, core.CampaignConfig{Workers: 1, Schemes: schemes})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: baseline run failed:", err)
+		os.Exit(1)
+	}
+
+	failed := 0
+	for s := *seed; s < *seed+int64(*runs); s++ {
+		if err := soakOne(s, ps, schemes, baseline, dir); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "chaos: seed %d FAILED: %v\n", s, err)
+		} else {
+			fmt.Printf("chaos: seed %d ok\n", s)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: %d of %d seeds violated invariants\n", failed, *runs)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos: %d seed(s), %d traces each: all invariants held\n", *runs, *traces)
+}

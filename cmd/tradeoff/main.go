@@ -19,6 +19,11 @@
 //	tradeoff -checkpoint run.jsonl -resume
 //	                                  # re-execute only missing/failed traces
 //
+// A first SIGINT/SIGTERM cancels the campaign cleanly (in-flight
+// replays stop through the DES engines' Stop path, completed traces
+// stay journaled) and prints the exact -resume invocation; a second
+// signal kills immediately.
+//
 // Scheme selection (see internal/scheme's registry):
 //
 //	tradeoff -schemes mfact,packet    # run a subset of the registered schemes
@@ -30,9 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"hpctradeoff/internal/core"
@@ -80,6 +87,17 @@ func startProfiles(cpu, mem string) error {
 		}
 	}
 	return nil
+}
+
+// resumeInvocation reconstructs the exact command line that resumes an
+// interrupted campaign: the original arguments plus -resume (if it was
+// not already set).
+func resumeInvocation(hadResume bool) string {
+	args := append([]string(nil), os.Args...)
+	if !hadResume {
+		args = append(args, "-resume")
+	}
+	return strings.Join(args, " ")
 }
 
 func main() {
@@ -132,6 +150,23 @@ func main() {
 			fmt.Printf("[%3d/%3d] %-36s measured=%-12v model=%v\n",
 				done, total, r.ID, r.Measured, r.ModelWall().Round(time.Microsecond))
 		}
+
+		// A first SIGINT/SIGTERM cancels the campaign cleanly: workers
+		// stop through the DES engines' Stop path, every completed trace
+		// is already journaled, and the run ends with a resume hint. A
+		// second signal kills the process immediately.
+		cancel := make(chan struct{})
+		sigs := make(chan os.Signal, 2)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sigs
+			fmt.Fprintf(os.Stderr, "\ntradeoff: %v: stopping workers and flushing the checkpoint (signal again to kill)\n", s)
+			close(cancel)
+			<-sigs
+			fmt.Fprintln(os.Stderr, "tradeoff: killed")
+			exit(1)
+		}()
+
 		var rep *core.CampaignReport
 		rs, rep, err = core.RunCampaign(suite, core.CampaignConfig{
 			Workers:        *workers,
@@ -141,12 +176,28 @@ func main() {
 			CheckpointPath: *checkpoint,
 			Resume:         *resume,
 			Progress:       progress,
+			Cancel:         cancel,
+			Warnf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tradeoff: "+format+"\n", args...)
+			},
 		})
+		signal.Stop(sigs)
 		if rep != nil {
 			fmt.Printf("%s\n\n", rep.Summary())
 			for _, te := range rep.Errors {
 				fmt.Fprintf(os.Stderr, "tradeoff: failed: %v\n", te)
 			}
+		}
+		select {
+		case <-cancel:
+			fmt.Fprintln(os.Stderr, "tradeoff: interrupted; completed traces are journaled")
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "tradeoff: resume with:\n  %s\n", resumeInvocation(*resume))
+			} else {
+				fmt.Fprintln(os.Stderr, "tradeoff: (no -checkpoint was set, so a rerun starts from scratch)")
+			}
+			exit(130)
+		default:
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// The per-scheme circuit breaker is the middle rung of the campaign's
+// degradation ladder (retry → breaker → model fallback → typed
+// failure). When one scheme starts failing on every trace — a broken
+// backend, a resource leak, an injected fault schedule — retrying it
+// per trace burns the whole campaign's budget on a lost cause. After
+// K consecutive failures the breaker for that scheme opens: remaining
+// traces record a typed KindBreakerOpen outcome for it instantly and
+// the other schemes keep running. The breaker is latched (no
+// half-open probing): a campaign is a batch, not a service, and a
+// deterministic study must not let the Nth trace's outcome depend on
+// whether an earlier trace happened to reset a probe window.
+//
+// Deterministic, trace-local failures do not count toward the
+// threshold: a capability gap (KindUnsupported) is a property of the
+// trace, not evidence the scheme is down, and a cancellation is the
+// operator's doing. Everything else — panics, deadlocks, blown
+// budgets, unclassified errors — counts.
+
+// breakerSet tracks consecutive failures per scheme across all
+// campaign workers. It is safe for concurrent use.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	consec    map[string]int
+	open      map[string]bool
+	warnf     func(format string, args ...any)
+}
+
+// newBreakerSet returns a breaker set opening after threshold
+// consecutive failures; warnf (may be nil) is told when a breaker
+// opens.
+func newBreakerSet(threshold int, warnf func(string, ...any)) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		consec:    map[string]int{},
+		open:      map[string]bool{},
+		warnf:     warnf,
+	}
+}
+
+// allow reports whether the named scheme may run (its breaker is
+// closed).
+func (b *breakerSet) allow(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open[name]
+}
+
+// record notes one run outcome for the named scheme: success resets
+// the consecutive-failure count, failure advances it and opens the
+// breaker at the threshold.
+func (b *breakerSet) record(name string, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.consec[name] = 0
+		return
+	}
+	b.consec[name]++
+	if b.consec[name] >= b.threshold && !b.open[name] {
+		b.open[name] = true
+		if b.warnf != nil {
+			b.warnf("core: circuit breaker for scheme %s opened after %d consecutive failures; remaining traces record breaker-open outcomes", name, b.consec[name])
+		}
+	}
+}
+
+// openNames returns the schemes whose breakers are open, sorted.
+func (b *breakerSet) openNames() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for n, o := range b.open {
+		if o {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// countsTowardBreaker reports whether a per-scheme failure of this
+// kind is evidence the scheme itself is unhealthy. Capability gaps are
+// deterministic properties of the trace, and cancellations belong to
+// the operator; neither should open a breaker.
+func countsTowardBreaker(k ErrorKind) bool {
+	return k != KindUnsupported && k != KindCanceled
+}

@@ -3,6 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -49,6 +52,11 @@ const (
 	// the trace's feature set (SST/Macro 3.0's packet and flow models on
 	// complex grouping or thread-multiple traces).
 	KindUnsupported ErrorKind = "unsupported"
+	// KindBreakerOpen marks a scheme outcome that was skipped because
+	// the scheme's circuit breaker opened (K consecutive failures): the
+	// trace was not retried against a backend known to be down. It
+	// appears only in Outcome.ErrKind, never as a whole-trace failure.
+	KindBreakerOpen ErrorKind = "breaker-open"
 	// KindUnknown is everything else.
 	KindUnknown ErrorKind = "unknown"
 )
@@ -99,7 +107,10 @@ func (e *TraceError) Error() string {
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *TraceError) Unwrap() error { return e.Err }
 
-// FailurePolicy decides how a campaign reacts to failing traces.
+// FailurePolicy decides how a campaign reacts to failing traces. Its
+// knobs form the degradation ladder: retry (MaxRetries with jittered
+// backoff) → circuit breaker (BreakerThreshold) → model fallback
+// (DegradeToModel) → typed per-trace failure.
 type FailurePolicy struct {
 	// KeepGoing collects per-trace errors and returns partial results
 	// instead of aborting the campaign on the first failure.
@@ -107,9 +118,28 @@ type FailurePolicy struct {
 	// MaxRetries re-runs a trace whose failure kind is Transient up to
 	// this many extra times, each with a fresh deterministic seed.
 	MaxRetries int
-	// Backoff is the first retry's delay; it doubles per attempt and is
-	// capped. Zero means defaultBackoff.
+	// Backoff is the first retry's delay cap; it doubles per attempt,
+	// is capped at maxBackoff, and each sleep is drawn uniformly from
+	// [0, cap] (full jitter) so retrying workers do not stampede in
+	// lockstep. Zero means defaultBackoff.
 	Backoff time.Duration
+	// Seed seeds the campaign's retry-jitter RNG. Each trace derives
+	// its own stream from (Seed, CampaignKey), so jitter is
+	// reproducible regardless of worker interleaving.
+	Seed int64
+	// BreakerThreshold opens a per-scheme circuit breaker after this
+	// many consecutive failures of one scheme: remaining traces record
+	// a KindBreakerOpen outcome for it instead of running it. 0
+	// disables the breaker. Capability gaps (KindUnsupported) and
+	// cancellations do not count toward the threshold.
+	BreakerThreshold int
+	// DegradeToModel re-runs a trace whose full scheme set failed
+	// (after retries) with the MFACT model alone, so the trace still
+	// yields a model prediction when the simulation schemes are down.
+	// Degraded results are marked (TraceResult.Degraded) and counted
+	// separately in the report. It applies only when the campaign's
+	// scheme selection includes mfact plus at least one other scheme.
+	DegradeToModel bool
 }
 
 const (
@@ -143,6 +173,15 @@ type CampaignConfig struct {
 	// Progress, if non-nil, is called after each trace completes or is
 	// restored from the checkpoint (r is nil for failed traces).
 	Progress func(done, total int, r *TraceResult)
+	// Warnf, if non-nil, receives operator warnings that are not
+	// per-trace failures: checkpoint salvage, circuit breakers opening,
+	// degraded results. Nil discards them.
+	Warnf func(format string, args ...any)
+	// Cancel, when non-nil and closed, cancels the campaign: no new
+	// traces are scheduled, in-flight replays stop through the DES
+	// engines' Stop() path (failing with KindCanceled), and RunCampaign
+	// returns with everything completed so far already journaled.
+	Cancel <-chan struct{}
 	// Runner overrides how one trace executes — the campaign's fault
 	// injection seam for tests. Nil means RunOneOpts.
 	Runner func(p workload.Params, ro RunOptions) (*TraceResult, error)
@@ -158,6 +197,16 @@ type CampaignReport struct {
 	// Retried counts extra attempts across all traces (including
 	// retries that eventually succeeded).
 	Retried int
+	// Degraded counts traces rescued by the model-only fallback; they
+	// are included in Succeeded.
+	Degraded int
+	// Canceled counts traces that failed with KindCanceled (they are
+	// included in Failed); non-zero means the campaign was interrupted
+	// and can be resumed from its checkpoint.
+	Canceled int
+	// BreakersOpen names the schemes whose circuit breakers were open
+	// when the campaign finished, sorted.
+	BreakersOpen []string
 	// Errors holds one TraceError per failed trace, in manifest order.
 	Errors []*TraceError
 	Wall   time.Duration
@@ -178,8 +227,18 @@ func (r *CampaignReport) Err() error {
 
 // Summary is a one-line operator summary.
 func (r *CampaignReport) Summary() string {
-	return fmt.Sprintf("campaign: %d traces: %d succeeded, %d failed, %d resumed from checkpoint, %d retries, in %v",
+	s := fmt.Sprintf("campaign: %d traces: %d succeeded, %d failed, %d resumed from checkpoint, %d retries, in %v",
 		r.Total, r.Succeeded, r.Failed, r.Skipped, r.Retried, r.Wall.Round(time.Millisecond))
+	if r.Degraded > 0 {
+		s += fmt.Sprintf(" (%d degraded to model-only)", r.Degraded)
+	}
+	if len(r.BreakersOpen) > 0 {
+		s += fmt.Sprintf(" [breakers open: %s]", strings.Join(r.BreakersOpen, ","))
+	}
+	if r.Canceled > 0 {
+		s += fmt.Sprintf(" [interrupted: %d traces canceled]", r.Canceled)
+	}
+	return s
 }
 
 // RunCampaign runs the manifest under the given fault-tolerance
@@ -205,6 +264,11 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 		}
 	}
 
+	warnf := cfg.Warnf
+	if warnf == nil {
+		warnf = func(string, ...any) {}
+	}
+
 	rep := &CampaignReport{Total: len(ps)}
 	results := make([]*TraceResult, len(ps))
 	traceErrs := make([]*TraceError, len(ps))
@@ -217,13 +281,26 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 		// Read the journal up front even when not resuming: an existing
 		// journal written for a different scheme set (or schema version)
 		// must be rejected, never silently appended to.
-		loaded, header, err := loadCheckpointFull(cfg.CheckpointPath)
+		loaded, header, sal, err := loadCheckpointFull(cfg.CheckpointPath)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: resuming campaign: %w", err)
 		}
 		if header != nil && !sameSchemeSet(header, schemeNames) {
 			return nil, nil, fmt.Errorf("core: checkpoint %s was written for schemes [%s] but this campaign selects [%s]; use a fresh checkpoint path or a matching scheme selection",
 				cfg.CheckpointPath, strings.Join(header, ","), strings.Join(sortedSchemes(schemeNames), ","))
+		}
+		// Salvage before appending: a torn tail (crash mid-append) is
+		// cut back to the valid JSONL prefix — the records before it
+		// are all kept — so the journal never accretes a garbage line,
+		// and mid-file damage is reported, not silently skipped.
+		if sal != nil && sal.TornTail {
+			if err := os.Truncate(cfg.CheckpointPath, sal.TornAt); err != nil {
+				return nil, nil, fmt.Errorf("core: salvaging checkpoint %s: %w", cfg.CheckpointPath, err)
+			}
+			warnf("core: checkpoint %s ended in a torn record (crash mid-append); salvaged the valid prefix, %d completed traces kept", cfg.CheckpointPath, len(loaded))
+		}
+		if sal != nil && sal.Damaged > 0 {
+			warnf("core: checkpoint %s has %d damaged line(s); the affected traces will re-run", cfg.CheckpointPath, sal.Damaged)
 		}
 		if cfg.Resume {
 			done = loaded
@@ -255,6 +332,22 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 		defer ckpt.Close()
 	}
 
+	// The breaker set is campaign-global: every worker's Runner shares
+	// it, so K consecutive failures of one scheme anywhere open the
+	// breaker for all workers.
+	var breakers *breakerSet
+	if cfg.Policy.BreakerThreshold > 0 {
+		breakers = newBreakerSet(cfg.Policy.BreakerThreshold, warnf)
+	}
+	if cfg.Cancel != nil && cfg.Run.Cancel == nil {
+		cfg.Run.Cancel = cfg.Cancel
+	}
+	// The model-only fallback applies when the campaign runs mfact
+	// plus at least one other scheme (a model-only campaign has
+	// nothing to degrade to).
+	degrade := cfg.Policy.DegradeToModel && len(schemeNames) > 1 &&
+		containsScheme(schemeNames, scheme.MFACT)
+
 	var (
 		mu       sync.Mutex
 		stop     atomic.Bool // stops scheduling new traces (fail-fast, infra errors)
@@ -268,6 +361,7 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 		go func() {
 			defer wg.Done()
 			runner := cfg.Runner
+			var fallback func(workload.Params, RunOptions) (*TraceResult, error)
 			if runner == nil {
 				// One Runner (one scheme.Session set) per worker: replay
 				// arenas and free lists amortize across this worker's
@@ -285,10 +379,30 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 					}
 					return
 				}
+				rn.breakers = breakers
 				runner = rn.RunOne
+				if degrade {
+					// The fallback Runner deliberately bypasses the breaker
+					// set: degrading to the model is the last resort, taken
+					// even if mfact's own breaker has opened.
+					if frn, err := NewRunner([]string{scheme.MFACT}); err == nil {
+						fallback = frn.RunOne
+					}
+				}
 			}
 			for i := range jobs {
-				r, terr := runWithRetry(ps[i], cfg.Policy, cfg.Run, runner, &retries)
+				if stop.Load() {
+					// The campaign is halting (fail-fast failure or
+					// checkpoint loss). Skip jobs already handed out: after
+					// a journal failure nothing more may run or append —
+					// that is what a kill looks like — and it keeps a
+					// single-worker campaign's schedule deterministic.
+					continue
+				}
+				r, terr := runWithRetry(ps[i], cfg.Policy, cfg.Run, runner, fallback, &retries)
+				if r != nil && r.Degraded {
+					warnf("core: trace %s degraded to model-only after %s failure", CampaignKey(ps[i]), r.DegradedFrom)
+				}
 				if terr == nil && ckpt != nil {
 					if err := ckpt.Append(CampaignKey(ps[i]), r); err != nil {
 						// Losing the journal is an infrastructure failure,
@@ -314,11 +428,20 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 			}
 		}()
 	}
+produce:
 	for _, i := range pending {
 		if stop.Load() {
 			break
 		}
-		jobs <- i
+		if cfg.Cancel != nil {
+			select {
+			case jobs <- i:
+			case <-cfg.Cancel:
+				break produce
+			}
+		} else {
+			jobs <- i
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -327,15 +450,24 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 	for _, te := range traceErrs {
 		if te != nil {
 			rep.Failed++
+			if te.Kind == KindCanceled {
+				rep.Canceled++
+			}
 			rep.Errors = append(rep.Errors, te)
 		}
 	}
 	for _, r := range results {
 		if r != nil {
 			rep.Succeeded++
+			if r.Degraded {
+				rep.Degraded++
+			}
 		}
 	}
 	rep.Succeeded -= rep.Skipped
+	if breakers != nil {
+		rep.BreakersOpen = breakers.openNames()
+	}
 	rep.Wall = time.Since(start)
 
 	if infraErr != nil {
@@ -350,14 +482,22 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 }
 
 // runWithRetry executes one trace, isolating panics and retrying
-// transient failures with capped exponential backoff and a fresh seed.
+// transient failures with capped exponential backoff (full jitter,
+// deterministically seeded per trace) and a fresh seed. When retries
+// are exhausted and a model-only fallback is supplied, it takes the
+// last rung of the degradation ladder before giving up.
 func runWithRetry(p workload.Params, policy FailurePolicy, ro RunOptions,
-	runner func(workload.Params, RunOptions) (*TraceResult, error), retries *atomic.Int64) (*TraceResult, *TraceError) {
+	runner, fallback func(workload.Params, RunOptions) (*TraceResult, error),
+	retries *atomic.Int64) (*TraceResult, *TraceError) {
 	key := CampaignKey(p)
 	backoff := policy.Backoff
 	if backoff <= 0 {
 		backoff = defaultBackoff
 	}
+	// Each trace gets its own jitter stream derived from the campaign
+	// seed and its identity, so sleeps are reproducible no matter which
+	// worker runs the trace or in what order.
+	var rng *rand.Rand
 	for attempt := 0; ; attempt++ {
 		q := p
 		if attempt > 0 {
@@ -370,15 +510,66 @@ func runWithRetry(p workload.Params, policy FailurePolicy, ro RunOptions,
 		terr.ID = key
 		terr.Attempts = attempt + 1
 		if !terr.Kind.Transient() || attempt >= policy.MaxRetries {
-			return nil, terr
+			return degradeToModel(p, terr, ro, fallback)
 		}
 		retries.Add(1)
 		d := backoff << attempt
 		if d > maxBackoff || d <= 0 {
 			d = maxBackoff
 		}
-		time.Sleep(d)
+		// Full jitter: sleep uniform in [0, d]. Deterministic thundering
+		// herds are still herds — without jitter every retrying worker
+		// wakes at the same instant the backoff doubles.
+		if rng == nil {
+			rng = rand.New(rand.NewSource(jitterSeed(policy.Seed, key)))
+		}
+		time.Sleep(time.Duration(rng.Int63n(int64(d) + 1)))
 	}
+}
+
+// degradeToModel is the final rung of the ladder: re-run the failed
+// trace with the MFACT model alone so it still yields a prediction.
+// Cancellation is the operator's choice and invalid input would fail
+// the model the same way, so neither degrades; everything else —
+// blown budgets, panics, deadlocks, capability gaps, unknowns — is
+// worth one model-only attempt. If the fallback also fails, the
+// original error stands.
+func degradeToModel(p workload.Params, terr *TraceError, ro RunOptions,
+	fallback func(workload.Params, RunOptions) (*TraceResult, error)) (*TraceResult, *TraceError) {
+	if fallback == nil || terr.Kind == KindCanceled || terr.Kind == KindInvalidInput {
+		return nil, terr
+	}
+	r, ferr := runIsolated(p, ro, fallback)
+	if ferr != nil {
+		return nil, terr
+	}
+	// A fallback run whose model outcome failed (a scheme-level failure
+	// does not error the trace) rescued nothing: without a prediction
+	// the original failure stands.
+	if o, ok := r.Schemes[scheme.MFACT]; !ok || !o.OK {
+		return nil, terr
+	}
+	r.Degraded = true
+	r.DegradedFrom = string(terr.Kind)
+	return r, nil
+}
+
+// jitterSeed derives a trace's backoff-jitter seed from the campaign
+// seed and the trace's manifest key.
+func jitterSeed(seed int64, key string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, key)
+	return int64(h.Sum64())
+}
+
+// containsScheme reports whether names includes name.
+func containsScheme(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // runIsolated invokes the runner with panic isolation: a panic

@@ -6,12 +6,26 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
+	"hpctradeoff/internal/faultinject"
 	"hpctradeoff/internal/workload"
+)
+
+// Failpoints on the journal's write path. An injected error at the
+// append site (optionally a torn write — half a record, no newline,
+// no sync — the on-disk signature of a kill mid-append) or at the
+// sync site is how the chaos harness and the crash/resume tests make
+// the campaign die at an exact checkpoint offset.
+var (
+	failCkptAppend  = faultinject.NewSite("core/checkpoint-append")
+	failCkptSync    = faultinject.NewSite("core/checkpoint-sync")
+	failResultsSave = faultinject.NewSite("core/results-save")
 )
 
 // The campaign checkpoint is an append-only JSONL journal: a header
@@ -88,14 +102,23 @@ type Checkpoint struct {
 	mu  sync.Mutex
 	f   *os.File
 	enc *json.Encoder
+	// dirty marks that the previous append failed, so the file may end
+	// in a torn partial record; the next append repairs the tail with a
+	// newline first, or the new record would merge into the fragment and
+	// both would be lost.
+	dirty bool
 }
 
 // OpenCheckpoint opens (creating if needed) the journal at path for
 // appending. A fresh (empty) journal gets a header line recording the
-// schema version and the campaign's scheme set; an existing journal is
-// appended to as-is (RunCampaign validates its header before opening).
+// schema version and the campaign's scheme set, and the containing
+// directory is fsynced so the file itself survives a crash; an
+// existing journal is appended to as-is (RunCampaign validates its
+// header before opening), except that a missing final newline — a
+// crash cut the last append short and no salvage ran — is repaired
+// first so the next record cannot merge into the torn fragment.
 func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +128,8 @@ func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() == 0 {
+	switch {
+	case st.Size() == 0:
 		if err := c.enc.Encode(checkpointEntry{
 			Version: checkpointVersion,
 			Header:  true,
@@ -118,6 +142,25 @@ func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
 			f.Close()
 			return nil, err
 		}
+		// The rename-less analogue of "fsync the directory after an
+		// atomic rename": creating the journal is only durable once its
+		// directory entry is.
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	default:
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
 	}
 	return c, nil
 }
@@ -127,10 +170,46 @@ func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
 func (c *Checkpoint) Append(key string, r *TraceResult) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.dirty {
+		if _, err := c.f.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+		c.dirty = false
+	}
+	if err := failCkptAppend.FailLabel(key); err != nil {
+		var inj *faultinject.Injected
+		if errors.As(err, &inj) && inj.Action == faultinject.ActTorn {
+			// Emulate a kill mid-append: a prefix of the record reaches
+			// the disk, with no newline and no sync. The loader must
+			// salvage everything before it.
+			if b, merr := json.Marshal(checkpointEntry{Version: checkpointVersion, Key: key, Result: r}); merr == nil {
+				c.f.Write(b[:len(b)/2])
+			}
+		}
+		c.dirty = true
+		return err
+	}
 	if err := c.enc.Encode(checkpointEntry{Version: checkpointVersion, Key: key, Result: r}); err != nil {
+		// The record may have reached the disk partially; repair the
+		// tail before any further append.
+		c.dirty = true
+		return err
+	}
+	if err := failCkptSync.FailLabel(key); err != nil {
 		return err
 	}
 	return c.f.Sync()
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// in it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Close closes the journal file.
@@ -138,6 +217,18 @@ func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.f.Close()
+}
+
+// Salvage describes what the loader recovered from around: interior
+// lines it skipped as damaged, and a torn tail — an unterminated,
+// unparsable final fragment, the on-disk signature of a kill
+// mid-append. TornAt is the byte offset the fragment starts at, so the
+// caller can truncate the journal back to its valid prefix before
+// appending again.
+type Salvage struct {
+	Damaged  int   // complete interior lines that failed to parse
+	TornTail bool  // the final line is an unterminated, unparsable fragment
+	TornAt   int64 // byte offset of the torn fragment's first byte
 }
 
 // LoadCheckpoint reads a journal into a key→result map. A missing file
@@ -150,49 +241,61 @@ func (c *Checkpoint) Close() error {
 // whole campaign while appending to a journal no old tool can read. A
 // key appearing twice keeps the latest entry.
 func LoadCheckpoint(path string) (map[string]*TraceResult, error) {
-	out, _, err := loadCheckpointFull(path)
+	out, _, _, err := loadCheckpointFull(path)
 	return out, err
 }
 
 // loadCheckpointFull is LoadCheckpoint also returning the header's
-// scheme set (nil when the journal has no header line).
-func loadCheckpointFull(path string) (map[string]*TraceResult, []string, error) {
+// scheme set (nil when the journal has no header line) and a salvage
+// report of any damage it skipped over.
+func loadCheckpointFull(path string) (map[string]*TraceResult, []string, *Salvage, error) {
 	out := map[string]*TraceResult{}
 	var schemes []string
+	sal := &Salvage{}
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return out, nil, nil
+		return out, nil, sal, nil
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+	rd := bufio.NewReaderSize(f, 64<<10)
+	var offset int64
+	for {
+		lineStart := offset
+		raw, rerr := rd.ReadBytes('\n')
+		offset += int64(len(raw))
+		terminated := rerr == nil
+		if rerr != nil && rerr != io.EOF {
+			return nil, nil, nil, fmt.Errorf("core: reading checkpoint %s: %w", path, rerr)
 		}
-		var e checkpointEntry
-		if err := json.Unmarshal(line, &e); err != nil {
-			continue
+		line := bytes.TrimSpace(raw)
+		if len(line) > 0 {
+			var e checkpointEntry
+			if perr := json.Unmarshal(line, &e); perr != nil {
+				if terminated {
+					sal.Damaged++
+				} else {
+					sal.TornTail = true
+					sal.TornAt = lineStart
+				}
+			} else {
+				if e.Version != checkpointVersion {
+					return nil, nil, nil, fmt.Errorf("%w: %s has a version-%d line, this build writes version %d; start a fresh checkpoint or convert the journal",
+						ErrCheckpointVersion, path, e.Version, checkpointVersion)
+				}
+				switch {
+				case e.Header:
+					schemes = e.Schemes
+				case e.Key != "" && e.Result != nil:
+					out[e.Key] = e.Result
+				}
+			}
 		}
-		if e.Version != checkpointVersion {
-			return nil, nil, fmt.Errorf("%w: %s has a version-%d line, this build writes version %d; start a fresh checkpoint or convert the journal",
-				ErrCheckpointVersion, path, e.Version, checkpointVersion)
+		if rerr == io.EOF {
+			break
 		}
-		if e.Header {
-			schemes = e.Schemes
-			continue
-		}
-		if e.Key == "" || e.Result == nil {
-			continue
-		}
-		out[e.Key] = e.Result
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
-	}
-	return out, schemes, nil
+	return out, schemes, sal, nil
 }

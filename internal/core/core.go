@@ -49,6 +49,13 @@ type TraceResult struct {
 
 	// Features is the Table III vector (filled when the run succeeds).
 	Features []float64
+
+	// Degraded marks a result produced by the model-only fallback
+	// (FailurePolicy.DegradeToModel) after the full scheme set failed:
+	// it carries an MFACT prediction but no simulation outcomes.
+	// DegradedFrom records the original failure's ErrorKind.
+	Degraded     bool   `json:",omitempty"`
+	DegradedFrom string `json:",omitempty"`
 }
 
 // Model returns the MFACT result (baseline = as-configured machine),
@@ -144,6 +151,10 @@ type RunOptions struct {
 	// MaxEvents caps the DES events of each individual simulation
 	// (ground truth and prediction replays alike).
 	MaxEvents uint64
+	// Cancel, when non-nil, cancels the run when closed: replays stop
+	// at their next scheduling boundary through the engines' Stop()
+	// path and the trace fails with an error wrapping des.ErrCanceled.
+	Cancel <-chan struct{} `json:"-"`
 }
 
 // Runner executes every selected scheme on each trace it is handed,
@@ -153,6 +164,10 @@ type RunOptions struct {
 type Runner struct {
 	schemes  []scheme.Scheme
 	sessions []scheme.Session
+	// breakers, when non-nil, is the campaign-wide circuit-breaker set
+	// shared by every worker's Runner: a scheme whose breaker is open
+	// is skipped with a typed KindBreakerOpen outcome instead of run.
+	breakers *breakerSet
 }
 
 // NewRunner returns a Runner over the named schemes in the given
@@ -178,7 +193,9 @@ func (rn *Runner) RunOne(p workload.Params, ro RunOptions) (*TraceResult, error)
 	if ro.Timeout > 0 {
 		deadline = time.Now().Add(ro.Timeout)
 	}
-	cols, err := workload.MaterializeColumnsBudget(p, deadline, ro.MaxEvents)
+	cols, err := workload.MaterializeColumnsLimits(p, workload.Limits{
+		Deadline: deadline, MaxEvents: ro.MaxEvents, Cancel: ro.Cancel,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -186,11 +203,11 @@ func (rn *Runner) RunOne(p workload.Params, ro RunOptions) (*TraceResult, error)
 	if err != nil {
 		return nil, err
 	}
-	return rn.runSource(cols, mach, p, deadline, ro.MaxEvents)
+	return rn.runSource(cols, mach, p, scheme.Options{Deadline: deadline, MaxEvents: ro.MaxEvents, Cancel: ro.Cancel})
 }
 
 // runSource runs every scheme session on an already-stamped source.
-func (rn *Runner) runSource(src trace.Source, mach *machine.Config, p workload.Params, deadline time.Time, maxEvents uint64) (*TraceResult, error) {
+func (rn *Runner) runSource(src trace.Source, mach *machine.Config, p workload.Params, opts scheme.Options) (*TraceResult, error) {
 	res := &TraceResult{
 		Params:       p,
 		ID:           src.TraceMeta().ID(),
@@ -200,23 +217,37 @@ func (rn *Runner) runSource(src trace.Source, mach *machine.Config, p workload.P
 		Events:       trace.SourceNumEvents(src),
 		Schemes:      make(map[string]scheme.Outcome, len(rn.schemes)),
 	}
-	opts := scheme.Options{Deadline: deadline, MaxEvents: maxEvents}
 	for i, s := range rn.schemes {
+		name := s.Name()
+		if rn.breakers != nil && !rn.breakers.allow(name) {
+			res.Schemes[name] = scheme.Outcome{
+				Scheme: name, Kind: s.Kind(), OK: false,
+				Err:     fmt.Sprintf("circuit breaker open: %s failed %d consecutive traces", name, rn.breakers.threshold),
+				ErrKind: string(KindBreakerOpen),
+			}
+			continue
+		}
 		out, err := rn.sessions[i].Run(src, mach, opts)
-		out.Scheme, out.Kind = s.Name(), s.Kind()
+		out.Scheme, out.Kind = name, s.Kind()
 		if err != nil {
+			kind := Classify(err)
+			if rn.breakers != nil && countsTowardBreaker(kind) {
+				rn.breakers.record(name, false)
+			}
 			// A blown budget or cancellation means the trace is a runaway:
 			// fail the whole trace so the campaign can classify and report
 			// it. Everything else — capability gaps, deadlocks — stays a
 			// per-scheme outcome carrying its typed classification.
 			if errors.Is(err, des.ErrBudgetExceeded) || errors.Is(err, des.ErrCanceled) {
-				return nil, fmt.Errorf("core: running %s on %s: %w", s.Name(), res.ID, err)
+				return nil, fmt.Errorf("core: running %s on %s: %w", name, res.ID, err)
 			}
 			out.OK = false
 			out.Err = err.Error()
-			out.ErrKind = string(Classify(err))
+			out.ErrKind = string(kind)
+		} else if rn.breakers != nil {
+			rn.breakers.record(name, true)
 		}
-		res.Schemes[s.Name()] = out
+		res.Schemes[name] = out
 	}
 	res.Features = features.ExtractSource(src, res.Model())
 	return res, nil
@@ -250,7 +281,7 @@ func RunOnTrace(t *trace.Trace, mach *machine.Config, p workload.Params) (*Trace
 	if err != nil {
 		return nil, err
 	}
-	return rn.runSource(t, mach, p, time.Time{}, 0)
+	return rn.runSource(t, mach, p, scheme.Options{})
 }
 
 // RunSuite runs the given manifest with a worker pool (both tools use

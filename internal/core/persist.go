@@ -42,9 +42,14 @@ func LoadResults(r io.Reader) ([]*TraceResult, error) {
 
 // SaveResultsFile writes results to path atomically: the JSON goes to
 // a temp file in the same directory, is synced, and is renamed over
-// path, so a crash mid-write can never corrupt an existing results
-// file (the expensive artifact of a multi-hour campaign).
+// path, then the directory is fsynced — without that last step the
+// rename itself can be lost to a crash, so a crash mid-write can never
+// corrupt or silently drop an existing results file (the expensive
+// artifact of a multi-hour campaign).
 func SaveResultsFile(path string, rs []*TraceResult) (err error) {
+	if err = failResultsSave.Fail(); err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -65,7 +70,10 @@ func SaveResultsFile(path string, rs []*TraceResult) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // LoadResultsFile reads results from path.

@@ -425,6 +425,10 @@ func (l *lp) broadcast(at simtime.Time, final bool) {
 // engine budget, halting the whole engine on the first limit hit.
 func (l *lp) budgetOK(at simtime.Time) bool {
 	eng := l.engine
+	if err := failStep.Fail(); err != nil {
+		eng.halt(fmt.Errorf("%w: %v", ErrCanceled, err))
+		return false
+	}
 	b := eng.budget
 	if b.MaxTime > 0 && at > b.MaxTime {
 		eng.halt(fmt.Errorf("%w: event at %v is past the simulated-time cap %v", ErrBudgetExceeded, at, b.MaxTime))

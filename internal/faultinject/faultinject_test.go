@@ -1,0 +1,227 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fresh arms rules on a uniquely-named site and returns it; the
+// cleanup disarms so tests do not leak schedules into each other.
+func fresh(t *testing.T, name string, seed int64, rules ...Rule) *Site {
+	t.Helper()
+	s := NewSite(name)
+	for i := range rules {
+		rules[i].Site = name
+	}
+	if err := Arm(seed, rules); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(Disarm)
+	return s
+}
+
+func TestDisarmedSiteIsFree(t *testing.T) {
+	s := NewSite("test/disarmed")
+	if s.Enabled() {
+		t.Fatal("fresh site reports enabled")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := s.Fail(); err != nil {
+			t.Fatalf("disarmed site failed: %v", err)
+		}
+	}
+}
+
+func TestNewSiteIdempotent(t *testing.T) {
+	a := NewSite("test/idempotent")
+	b := NewSite("test/idempotent")
+	if a != b {
+		t.Fatal("NewSite returned distinct sites for one name")
+	}
+}
+
+func TestHitScheduleFiresExactIndices(t *testing.T) {
+	s := fresh(t, "test/hits", 1, Rule{Hits: []uint64{2, 5}})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if err := s.Fail(); err != nil {
+			fired = append(fired, i)
+			var inj *Injected
+			if !errors.As(err, &inj) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error has wrong shape: %v", err)
+			}
+			if inj.Hit != uint64(i) {
+				t.Errorf("hit index %d reported as %d", i, inj.Hit)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("fired on hits %v, want [2 5]", fired)
+	}
+}
+
+func TestEveryAndMaxFires(t *testing.T) {
+	s := fresh(t, "test/every", 1, Rule{Every: 3, MaxFires: 2})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if s.Fail() != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 6 {
+		t.Fatalf("fired on hits %v, want [3 6] (MaxFires=2)", fired)
+	}
+}
+
+// A probabilistic schedule is a pure function of (seed, rules): two
+// passes with the same seed fire on identical hit indices, and a
+// different seed gives a different schedule.
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		s := fresh(t, "test/prob", seed, Rule{Prob: 0.3})
+		for i := 0; i < 200; i++ {
+			s.Fail()
+		}
+		var hits []uint64
+		for _, f := range Fired() {
+			hits = append(hits, f.Hit)
+		}
+		return hits
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed fired differently:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 fired %d/200 times; schedule degenerate", len(a))
+	}
+	c := run(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestLabelFilter(t *testing.T) {
+	s := fresh(t, "test/label", 1, Rule{Label: "packet", Hits: []uint64{2}})
+	// Non-matching labels never fire and never advance the rule.
+	for i := 0; i < 5; i++ {
+		if err := s.FailLabel("flow"); err != nil {
+			t.Fatalf("non-matching label fired: %v", err)
+		}
+	}
+	if err := s.FailLabel("packet"); err != nil {
+		t.Fatalf("first matching hit fired early: %v", err)
+	}
+	if err := s.FailLabel("packet"); err == nil {
+		t.Fatal("second matching hit did not fire")
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	s := fresh(t, "test/panic", 1, Rule{Action: ActPanic})
+	defer func() {
+		rec := recover()
+		inj, ok := rec.(*Injected)
+		if !ok {
+			t.Fatalf("panicked with %T, want *Injected", rec)
+		}
+		if inj.Action != ActPanic || inj.Site != "test/panic" {
+			t.Fatalf("panic payload %+v", inj)
+		}
+	}()
+	s.Fail()
+	t.Fatal("ActPanic did not panic")
+}
+
+func TestStallActionSleepsThenContinues(t *testing.T) {
+	const d = 30 * time.Millisecond
+	s := fresh(t, "test/stall", 1, Rule{Action: ActStall, Stall: d, MaxFires: 1})
+	start := time.Now()
+	if err := s.Fail(); err != nil {
+		t.Fatalf("stall returned an error: %v", err)
+	}
+	if el := time.Since(start); el < d {
+		t.Fatalf("stall slept %v, want >= %v", el, d)
+	}
+}
+
+func TestTypedCause(t *testing.T) {
+	sentinel := errors.New("enospc")
+	s := fresh(t, "test/cause", 1, Rule{Err: sentinel})
+	err := s.Fail()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("injected error does not unwrap to the rule's cause: %v", err)
+	}
+	if errors.Is(err, ErrInjected) {
+		t.Fatal("a typed cause should replace ErrInjected, not accompany it")
+	}
+}
+
+func TestFiredLogRecordsSchedule(t *testing.T) {
+	s := fresh(t, "test/log", 1, Rule{Hits: []uint64{1, 3}})
+	s.FailLabel("x")
+	s.FailLabel("x")
+	s.FailLabel("x")
+	got := Fired()
+	if len(got) != 2 {
+		t.Fatalf("log has %d firings, want 2: %v", len(got), got)
+	}
+	if got[0].Hit != 1 || got[1].Hit != 3 || got[0].Label != "x" {
+		t.Fatalf("log contents wrong: %v", got)
+	}
+	// Disarm keeps the log (for post-run inspection); Arm resets it.
+	Disarm()
+	if len(Fired()) != 2 {
+		t.Fatal("Disarm cleared the firing log")
+	}
+	if err := Arm(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(Fired()) != 0 {
+		t.Fatal("Arm did not reset the firing log")
+	}
+}
+
+func TestArmUnknownSite(t *testing.T) {
+	if err := Arm(1, []Rule{{Site: "no/such/site"}}); err == nil {
+		t.Fatal("arming an unknown site did not fail")
+	}
+	t.Cleanup(Disarm)
+}
+
+// Two rules at one site: the first firing rule wins the hit, but later
+// rules still observe it, so their schedules stay aligned to the hit
+// stream, not to the winner's behavior.
+func TestRulePriorityAndCounting(t *testing.T) {
+	s := fresh(t, "test/multi", 1,
+		Rule{Hits: []uint64{2}, Action: ActPanic},
+		Rule{Hits: []uint64{2, 3}})
+	if err := s.Fail(); err != nil {
+		t.Fatalf("hit 1 fired: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("hit 2 should have panicked via the first rule")
+			}
+		}()
+		s.Fail()
+	}()
+	err := s.Fail() // hit 3: only the second rule matches
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Hit != 3 {
+		t.Fatalf("hit 3 = %v, want second rule firing at hit 3", err)
+	}
+}
+
+func BenchmarkDisarmedFail(b *testing.B) {
+	s := NewSite("bench/disarmed")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Fail() != nil {
+			b.Fatal("fired")
+		}
+	}
+}

@@ -78,6 +78,12 @@ type Options struct {
 	// Deadline is a wall-clock cutoff for the replay (zero value means
 	// none); it is polled periodically on the event loop.
 	Deadline time.Time
+	// Cancel, when non-nil, stops the replay when closed: a watcher
+	// calls the engine's Stop(), the run halts at its next scheduling
+	// boundary, and Replay fails with an error wrapping
+	// des.ErrCanceled. This is how a signal handler shuts a campaign
+	// down without losing journaled results.
+	Cancel <-chan struct{}
 }
 
 // Result carries the outcome of one replay.
@@ -143,6 +149,20 @@ func replaySource(src trace.Source, model simnet.Model, mach *machine.Config, ne
 	}
 	if opts.MaxEvents > 0 || opts.MaxSimTime > 0 || !opts.Deadline.IsZero() {
 		eng.SetBudget(des.Budget{MaxEvents: opts.MaxEvents, MaxTime: opts.MaxSimTime, Deadline: opts.Deadline})
+	}
+	if opts.Cancel != nil {
+		// The watcher routes external cancellation through the engine's
+		// cooperative Stop path; done unblocks it when the replay ends
+		// on its own.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-opts.Cancel:
+				eng.Stop()
+			case <-done:
+			}
+		}()
 	}
 	d.run(prog)
 	// A blown budget must be reported before the finish check: a

@@ -3,12 +3,21 @@ package scheme
 import (
 	"time"
 
+	"hpctradeoff/internal/faultinject"
 	"hpctradeoff/internal/machine"
 	"hpctradeoff/internal/mfact"
 	"hpctradeoff/internal/mpisim"
 	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/trace"
 )
+
+// failRun is the scheme-execution failpoint, hit once per scheme run
+// (stateless and session paths alike) with the scheme's name as the
+// label, so a schedule can target one backend: injected errors become
+// per-scheme failures the campaign classifies, injected panics
+// exercise its panic isolation, and injected stalls push a run past
+// its wall-clock budget. Disarmed it is a nil check.
+var failRun = faultinject.NewSite("scheme/run")
 
 // The four built-in schemes of the study, registered in the order the
 // paper reports them: the MFACT model, then the packet, flow, and
@@ -36,6 +45,9 @@ func (mfactScheme) Kind() Kind   { return KindModel }
 // than the simulations the budget defends against.
 func (mfactScheme) Run(src trace.Source, mach *machine.Config, _ Options) (Outcome, error) {
 	start := time.Now()
+	if err := failRun.FailLabel(MFACT); err != nil {
+		return Outcome{Scheme: MFACT, Kind: KindModel, Wall: time.Since(start)}, err
+	}
 	res, err := mfact.ModelSource(src, mach, nil)
 	return mfactOutcome(res, err, time.Since(start))
 }
@@ -46,6 +58,9 @@ type mfactSession struct{ sess *mfact.Session }
 
 func (s *mfactSession) Run(src trace.Source, mach *machine.Config, _ Options) (Outcome, error) {
 	start := time.Now()
+	if err := failRun.FailLabel(MFACT); err != nil {
+		return Outcome{Scheme: MFACT, Kind: KindModel, Wall: time.Since(start)}, err
+	}
 	res, err := s.sess.Model(src, mach, nil)
 	return mfactOutcome(res, err, time.Since(start))
 }
@@ -71,6 +86,9 @@ func (simScheme) Kind() Kind     { return KindSimulation }
 
 func (s simScheme) Run(src trace.Source, mach *machine.Config, opts Options) (Outcome, error) {
 	start := time.Now()
+	if err := failRun.FailLabel(string(s.model)); err != nil {
+		return Outcome{Scheme: string(s.model), Kind: KindSimulation, Wall: time.Since(start)}, err
+	}
 	res, err := mpisim.ReplaySource(src, s.model, mach, simnet.Config{}, simOpts(opts))
 	return simOutcome(string(s.model), res, err, time.Since(start))
 }
@@ -86,12 +104,15 @@ type simSession struct {
 
 func (s *simSession) Run(src trace.Source, mach *machine.Config, opts Options) (Outcome, error) {
 	start := time.Now()
+	if err := failRun.FailLabel(string(s.model)); err != nil {
+		return Outcome{Scheme: string(s.model), Kind: KindSimulation, Wall: time.Since(start)}, err
+	}
 	res, err := s.sess.Replay(src, s.model, mach, simnet.Config{}, simOpts(opts))
 	return simOutcome(string(s.model), res, err, time.Since(start))
 }
 
 func simOpts(opts Options) mpisim.Options {
-	return mpisim.Options{Deadline: opts.Deadline, MaxEvents: opts.MaxEvents}
+	return mpisim.Options{Deadline: opts.Deadline, MaxEvents: opts.MaxEvents, Cancel: opts.Cancel}
 }
 
 func simOutcome(name string, res *mpisim.Result, err error, wall time.Duration) (Outcome, error) {

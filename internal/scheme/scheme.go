@@ -49,6 +49,11 @@ type Options struct {
 	// schemes may ignore it (a modeling pass is orders of magnitude
 	// cheaper than the runs the cap defends against).
 	MaxEvents uint64
+	// Cancel, when non-nil, cancels a running simulation when closed,
+	// through the DES engines' cooperative Stop() path; the run fails
+	// with an error wrapping des.ErrCanceled. Modeling schemes may
+	// ignore it for the same reason they ignore MaxEvents.
+	Cancel <-chan struct{}
 }
 
 // Outcome records one scheme's run on one trace.

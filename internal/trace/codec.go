@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"hpctradeoff/internal/faultinject"
 	"hpctradeoff/internal/simtime"
 )
 
@@ -323,9 +324,18 @@ func ReadColumns(r io.Reader) (*Columns, error) {
 	return c, nil
 }
 
+// failRead is the codec's failpoint, hit once per rank body decoded
+// (both format versions). An armed fault surfaces as a read error from
+// Read/ReadColumns — injected failures are always loud, never a
+// silently short trace. Disarmed it is a nil check.
+var failRead = faultinject.NewSite("trace/codec-read")
+
 func readV1Body(d *decoder, t *Trace) error {
 	meta := t.Meta
 	for rank := 0; rank < meta.NumRanks; rank++ {
+		if err := failRead.Fail(); err != nil {
+			return fmt.Errorf("trace: rank %d: %w", rank, err)
+		}
 		n := int(d.uvarint())
 		if d.err != nil || n < 0 || n > maxRankEvents {
 			return d.fail("event count")
@@ -388,6 +398,9 @@ func readV1Body(d *decoder, t *Trace) error {
 // readColumnarBody decodes the version-2 per-rank column blocks into c.
 func readColumnarBody(d *decoder, c *Columns) error {
 	for rank := range c.ranks {
+		if err := failRead.Fail(); err != nil {
+			return fmt.Errorf("trace: rank %d: %w", rank, err)
+		}
 		n := int(d.uvarint())
 		if d.err != nil || n < 0 || n > maxRankEvents {
 			return d.fail("event count")

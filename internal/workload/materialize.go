@@ -43,22 +43,37 @@ func MaterializeBudget(p Params, deadline time.Time, maxEvents uint64) (*trace.T
 	return stamp(tr, p, deadline, maxEvents)
 }
 
+// Limits bound a ground-truth materialization: a wall-clock deadline,
+// a DES event cap, and a cancellation channel (closed = stop now via
+// the engine's Stop path). Zero values mean unlimited.
+type Limits struct {
+	Deadline  time.Time
+	MaxEvents uint64
+	Cancel    <-chan struct{}
+}
+
 // MaterializeColumns is Materialize building and stamping the columnar
 // representation directly: generation, ground-truth execution, and
 // write-back all go through the Source access path, so no
 // array-of-structs trace is ever built.
 func MaterializeColumns(p Params) (*trace.Columns, error) {
-	return MaterializeColumnsBudget(p, time.Time{}, 0)
+	return MaterializeColumnsLimits(p, Limits{})
 }
 
 // MaterializeColumnsBudget is MaterializeColumns with the
 // MaterializeBudget bounds.
 func MaterializeColumnsBudget(p Params, deadline time.Time, maxEvents uint64) (*trace.Columns, error) {
+	return MaterializeColumnsLimits(p, Limits{Deadline: deadline, MaxEvents: maxEvents})
+}
+
+// MaterializeColumnsLimits is MaterializeColumns under the full set of
+// run bounds, including cancellation.
+func MaterializeColumnsLimits(p Params, lim Limits) (*trace.Columns, error) {
 	c, err := GenerateColumns(p)
 	if err != nil {
 		return nil, err
 	}
-	if err := stampSource(c, p, deadline, maxEvents); err != nil {
+	if err := stampSource(c, p, lim); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -67,7 +82,7 @@ func MaterializeColumnsBudget(p Params, deadline time.Time, maxEvents uint64) (*
 // stamp executes the program on its machine's detailed simulator with
 // noise and writes the measured timestamps into the trace.
 func stamp(tr *trace.Trace, p Params, deadline time.Time, maxEvents uint64) (*trace.Trace, error) {
-	if err := stampSource(tr, p, deadline, maxEvents); err != nil {
+	if err := stampSource(tr, p, Limits{Deadline: deadline, MaxEvents: maxEvents}); err != nil {
 		return nil, err
 	}
 	return tr, nil
@@ -76,7 +91,7 @@ func stamp(tr *trace.Trace, p Params, deadline time.Time, maxEvents uint64) (*tr
 // stampSource is stamp over any trace representation; the ground-truth
 // replay and its timestamp write-back run through the Source path, so
 // array-of-structs and columnar builds stamp bit-identically.
-func stampSource(src trace.Source, p Params, deadline time.Time, maxEvents uint64) error {
+func stampSource(src trace.Source, p Params, lim Limits) error {
 	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
 	if err != nil {
 		return err
@@ -90,8 +105,9 @@ func stampSource(src trace.Source, p Params, deadline time.Time, maxEvents uint6
 	_, err = mpisim.ReplaySource(src, simnet.PacketFlow, mach, simnet.Config{}, mpisim.Options{
 		Record:    true,
 		Perturb:   mpisim.DefaultNoise(p.Seed, p.Ranks),
-		Deadline:  deadline,
-		MaxEvents: maxEvents,
+		Deadline:  lim.Deadline,
+		MaxEvents: lim.MaxEvents,
+		Cancel:    lim.Cancel,
 	})
 	if err != nil {
 		return fmt.Errorf("workload: ground-truth execution of %s: %w", meta.ID(), err)
