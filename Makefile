@@ -1,16 +1,16 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds chaos-short chaos study figures clean
+.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds triage-smoke chaos-short chaos study figures clean
 
 all: check
 
 # check is the default gate: build, vet, full test suite, the
 # race-detector pass over the concurrency-bearing packages, the fuzz
 # seed corpus, a short benchmark smoke run (proving the harness and
-# every scenario still execute; numbers are not recorded), and the
-# bounded chaos soak.
-check: build vet test test-race fuzz-seeds bench-short chaos-short
+# every scenario still execute; numbers are not recorded), the tiered
+# triage threshold sweep, and the bounded chaos soak.
+check: build vet test test-race fuzz-seeds bench-short triage-smoke chaos-short
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,11 @@ test:
 	$(GO) test ./...
 
 # test-race covers the packages with real goroutine concurrency: the
-# parallel DES engines, the network models driven by them, and the
-# campaign worker pool.
+# parallel DES engines, the network models driven by them, the
+# campaign worker pool, and the triage scheduler + classifier the
+# tiered campaign drives from its workers.
 test-race:
-	$(GO) test -race ./internal/des/... ./internal/simnet/... ./internal/core/...
+	$(GO) test -race ./internal/des/... ./internal/simnet/... ./internal/core/... ./internal/triage/... ./internal/classifier/...
 
 race: test-race
 	$(GO) test -race ./internal/mfact/
@@ -61,6 +62,16 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzCheckpointLoader -fuzztime=$(FUZZTIME) ./internal/core/
 
+# triage-smoke is the threshold-sweep smoke wired into `make check`:
+# the differential/property suites for the tiered scheduler, then one
+# reduced tiered campaign at each threshold endpoint and one interior
+# point, proving the full cmd wiring (flags, policy, report) executes.
+triage-smoke:
+	$(GO) test -run 'TestTriage|TestFrontier|TestPlan|TestParseTriageBudget' ./internal/core/ ./internal/triage/
+	$(GO) run ./cmd/tradeoff -stride 24 -maxranks 64 -q -triage -triage-threshold 0 > /dev/null
+	$(GO) run ./cmd/tradeoff -stride 24 -maxranks 64 -q -triage -triage-threshold 0.5 -triage-budget 8 > /dev/null
+	$(GO) run ./cmd/tradeoff -stride 24 -maxranks 64 -q -triage -triage-threshold 1 > /dev/null
+
 # chaos-short is the bounded soak wired into `make check`: 20 seeded
 # fault schedules against the campaign pipeline, each run twice for
 # reproducibility, killed, and resumed (see cmd/chaos for the
@@ -79,6 +90,7 @@ study:
 	$(GO) run ./cmd/tradeoff -save results/results.json -figdir results/figures | tee results/study.txt
 	$(GO) run ./cmd/predictor -load results/results.json | tee results/prediction.txt
 	$(GO) run ./cmd/diffreport -load results/results.json > results/diffreport.txt
+	$(GO) run ./cmd/diffreport -load results/results.json -frontier > results/frontier.txt
 
 clean:
 	rm -f test_output.txt bench_output.txt

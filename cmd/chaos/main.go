@@ -38,6 +38,7 @@ import (
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/faultinject"
 	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
 
@@ -292,6 +293,83 @@ func soakOne(seed int64, ps []workload.Params, schemes []string, baseline []*cor
 	return nil
 }
 
+// soakTriage breaks the triage classifier under a tiered campaign and
+// asserts the never-skip-silently contract: a classifier failure —
+// whether training (even seeds) or a mid-plan scoring call (odd seeds)
+// — must degrade the plan to escalate-always, be counted in the
+// report, and leave every trace with a full-fidelity result that is
+// bit-identical to the fault-free run-everything baseline. A broken
+// classifier may waste wall clock; it may never silently trust the
+// model tier.
+func soakTriage(seed int64, ps []workload.Params, schemes []string, baseline []*core.TraceResult) error {
+	rule := faultinject.Rule{
+		Site: "triage/score", Label: "train",
+		Action: faultinject.ActError, Hits: []uint64{1}, MaxFires: 1,
+	}
+	if seed%2 == 1 {
+		// Break the first Score call instead (hit 1 at the site is the
+		// Train call; hit 2 the first score): the plan must degrade
+		// retroactively, flipping candidates already cleared.
+		rule.Label = ""
+		rule.Hits = []uint64{2}
+	}
+	vlogf("  triage rule: %s", ruleString(rule))
+	if err := faultinject.Arm(seed, []faultinject.Rule{rule}); err != nil {
+		return fmt.Errorf("triage arm: %w", err)
+	}
+	pol := &triage.Policy{Threshold: 0.5, Calibration: 2, Seed: seed}
+	rs, rep, err := core.RunCampaign(ps, core.CampaignConfig{
+		Workers: 1,
+		Schemes: schemes,
+		Policy:  core.FailurePolicy{KeepGoing: true},
+		Triage:  pol,
+	})
+	faultinject.Disarm()
+	if err != nil {
+		return fmt.Errorf("tiered campaign under classifier fault failed: %w", err)
+	}
+	t := rep.Triage
+	if t == nil {
+		return fmt.Errorf("tiered campaign produced no triage report")
+	}
+	vlogf("  triage: %s", t.Summary())
+	if !t.ClassifierDown {
+		return fmt.Errorf("classifier fault fired but report does not count it as down")
+	}
+	if t.ModelOnly != 0 {
+		return fmt.Errorf("classifier down but %d trace(s) skipped simulation", t.ModelOnly)
+	}
+	nonCal := 0
+	for _, d := range t.Decisions {
+		if d.Reason == triage.ReasonCalibration {
+			continue
+		}
+		nonCal++
+		if !d.Escalate || d.Reason != triage.ReasonClassifierDown {
+			return fmt.Errorf("decision %s under a down classifier is %q escalate=%v, want forced escalation",
+				d.Key, d.Reason, d.Escalate)
+		}
+	}
+	if t.Forced != nonCal {
+		return fmt.Errorf("report counts %d forced escalations, want %d", t.Forced, nonCal)
+	}
+	for i, p := range ps {
+		r := rs[i]
+		if r == nil {
+			return fmt.Errorf("trace %s has no result under a down classifier", core.CampaignKey(p))
+		}
+		if len(r.Schemes) != len(schemes) {
+			return fmt.Errorf("trace %s ran %d of %d schemes under a down classifier",
+				core.CampaignKey(p), len(r.Schemes), len(schemes))
+		}
+		if normalize(r) != normalize(baseline[i]) {
+			return fmt.Errorf("escalate-always result for %s differs from run-everything baseline:\n  triage: %s\n  plain:  %s",
+				core.CampaignKey(p), normalize(r), normalize(baseline[i]))
+		}
+	}
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "first fault-schedule seed")
 	runs := flag.Int("runs", 1, "number of consecutive seeds to soak")
@@ -321,17 +399,27 @@ func main() {
 		os.Exit(1)
 	}
 
-	failed := 0
+	var failedSeeds []int64
 	for s := *seed; s < *seed+int64(*runs); s++ {
-		if err := soakOne(s, ps, schemes, baseline, dir); err != nil {
-			failed++
+		err := soakOne(s, ps, schemes, baseline, dir)
+		if err == nil {
+			err = soakTriage(s, ps, schemes, baseline)
+		}
+		if err != nil {
+			failedSeeds = append(failedSeeds, s)
 			fmt.Fprintf(os.Stderr, "chaos: seed %d FAILED: %v\n", s, err)
 		} else {
 			fmt.Printf("chaos: seed %d ok\n", s)
 		}
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "chaos: %d of %d seeds violated invariants\n", failed, *runs)
+	if len(failedSeeds) > 0 {
+		// Surface every failing seed with its one-seed repro invocation,
+		// so a CI log ends with the exact commands to debug locally.
+		fmt.Fprintf(os.Stderr, "chaos: %d of %d seeds violated invariants:\n", len(failedSeeds), *runs)
+		for _, s := range failedSeeds {
+			fmt.Fprintf(os.Stderr, "  seed %d: rerun with: go run ./cmd/chaos -seed %d -traces %d -schemes %s -v\n",
+				s, s, *traces, *schemesFlag)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("chaos: %d seed(s), %d traces each: all invariants held\n", *runs, *traces)

@@ -7,6 +7,15 @@
 // Usage:
 //
 //	diffreport -load results.json [-top N]
+//	diffreport -load results.json -frontier     # triage accuracy-vs-cost sweep
+//	diffreport -triage results.json.triage.json # a tiered campaign's decisions
+//
+// The -frontier sweep replays the tiered scheduler (internal/triage)
+// over a run-everything result set at a ladder of thresholds: every
+// simulation wall and DIFF is already known there, so each operating
+// point — escalation rate, rescued/missed DIFF mass, wall-clock saved
+// — is exact. -triage renders the decision report a tiered
+// `tradeoff -triage -save` run wrote.
 package main
 
 import (
@@ -18,20 +27,103 @@ import (
 	"hpctradeoff/internal/classifier"
 	"hpctradeoff/internal/core"
 	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/triage"
 )
+
+// frontierThresholds is the sweep ladder: both endpoints (the
+// run-everything and model-only baselines) plus interior operating
+// points.
+var frontierThresholds = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1}
+
+// renderFrontier computes and prints the accuracy-vs-cost frontier
+// from a run-everything result set.
+func renderFrontier(rs []*core.TraceResult, seed int64) error {
+	pts := core.TriagePoints(rs)
+	rows, err := triage.Frontier(pts, triage.Policy{Seed: seed}, frontierThresholds)
+	if err != nil {
+		return err
+	}
+	fmt.Print(triage.RenderFrontier(rows))
+	fmt.Printf("\n%d of %d traces swept (traces without a model prediction and a successful simulation are dropped)\n",
+		len(pts), len(rs))
+	return nil
+}
+
+// renderTriageReport prints a tiered campaign's saved decision report.
+func renderTriageReport(path string, top int) error {
+	t, err := core.LoadTriageReport(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\npolicy: %s\n", t.Summary(), t.Policy)
+	byReason := map[triage.Reason]int{}
+	for _, d := range t.Decisions {
+		byReason[d.Reason]++
+	}
+	fmt.Println("\ndecisions by reason:")
+	for _, r := range []triage.Reason{
+		triage.ReasonCalibration, triage.ReasonFlagged, triage.ReasonCleared,
+		triage.ReasonEscalateAll, triage.ReasonModelOnly,
+		triage.ReasonBudgetCount, triage.ReasonBudgetWall,
+		triage.ReasonClassifierDown, triage.ReasonModelFailed,
+	} {
+		if n := byReason[r]; n > 0 {
+			fmt.Printf("  %-16s %d\n", r, n)
+		}
+	}
+	escalated := make([]triage.Decision, 0, len(t.Decisions))
+	for _, d := range t.Decisions {
+		if d.Escalate && d.Reason == triage.ReasonFlagged {
+			escalated = append(escalated, d)
+		}
+	}
+	sort.Slice(escalated, func(i, j int) bool {
+		if escalated[i].Score != escalated[j].Score {
+			return escalated[i].Score > escalated[j].Score
+		}
+		return escalated[i].Key < escalated[j].Key
+	})
+	if len(escalated) > 0 {
+		fmt.Println("\nhighest-scored escalations:")
+		for i, d := range escalated {
+			if i >= top {
+				break
+			}
+			fmt.Printf("  %-40s P=%.3f\n", d.Key, d.Score)
+		}
+	}
+	return nil
+}
 
 func main() {
 	load := flag.String("load", "", "results JSON from cmd/tradeoff -save")
 	top := flag.Int("top", 25, "how many rows per section")
+	frontier := flag.Bool("frontier", false, "render the triage accuracy-vs-cost frontier instead of the DIFF report")
+	frontierSeed := flag.Int64("frontier-seed", 1, "classifier training seed for the frontier sweep")
+	triageReport := flag.String("triage", "", "render a tiered campaign's triage report JSON (from tradeoff -triage -save)")
 	flag.Parse()
+	if *triageReport != "" {
+		if err := renderTriageReport(*triageReport, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "diffreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *load == "" {
-		fmt.Fprintln(os.Stderr, "usage: diffreport -load results.json")
+		fmt.Fprintln(os.Stderr, "usage: diffreport -load results.json [-frontier] | diffreport -triage report.json")
 		os.Exit(2)
 	}
 	rs, err := core.LoadResultsFile(*load)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "diffreport:", err)
 		os.Exit(1)
+	}
+	if *frontier {
+		if err := renderFrontier(rs, *frontierSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "diffreport:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	type row struct {

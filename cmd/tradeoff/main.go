@@ -29,6 +29,19 @@
 //	tradeoff -schemes mfact,packet    # run a subset of the registered schemes
 //	                                  # (checkpoints record the selection and
 //	                                  # refuse to resume under a different one)
+//
+// Tiered triage (see internal/triage): run MFACT on everything, train
+// the enhanced-MFACT classifier on a calibration split, and escalate
+// only flagged traces to the simulation schemes:
+//
+//	tradeoff -triage                           # classifier-gated escalation
+//	tradeoff -triage -triage-threshold 0.3     # escalate at P ≥ 0.3
+//	tradeoff -triage -triage-budget 12,30s     # ≤12 escalations, ≤30s wall
+//
+// Threshold 0 escalates everything (bit-identical to the plain
+// campaign); threshold 1 escalates nothing (bit-identical to
+// -schemes mfact). Checkpoints journal every triage decision and
+// refuse to resume under a different policy.
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 
 	"hpctradeoff/internal/core"
 	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
 
@@ -120,10 +134,25 @@ func main() {
 		strings.Join(scheme.Names(), ",")+")")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	triageOn := flag.Bool("triage", false, "run the campaign tiered: model everything, escalate only classifier-flagged traces to simulation")
+	triageThreshold := flag.Float64("triage-threshold", 0.5, "escalate when the classifier's P(DIFF > 2%) is at or above this (0 = escalate all, 1 = escalate none)")
+	triageBudget := flag.String("triage-budget", "", "escalation budget: a count, a duration, or both comma-separated (e.g. 12,30s)")
+	triageSeed := flag.Int64("triage-seed", 1, "seed for the triage classifier's cross-validated training")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "tradeoff: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	var triagePolicy *triage.Policy
+	if *triageOn {
+		triagePolicy = &triage.Policy{Threshold: *triageThreshold, Seed: *triageSeed}
+		if err := core.ParseTriageBudget(*triageBudget, triagePolicy); err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(2)
+		}
+	} else if *triageBudget != "" {
+		fmt.Fprintln(os.Stderr, "tradeoff: -triage-budget requires -triage")
 		os.Exit(2)
 	}
 	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
@@ -177,6 +206,7 @@ func main() {
 			Resume:         *resume,
 			Progress:       progress,
 			Cancel:         cancel,
+			Triage:         triagePolicy,
 			Warnf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "tradeoff: "+format+"\n", args...)
 			},
@@ -184,6 +214,16 @@ func main() {
 		signal.Stop(sigs)
 		if rep != nil {
 			fmt.Printf("%s\n\n", rep.Summary())
+			if rep.Triage != nil {
+				fmt.Printf("%s\n\n", rep.Triage.Summary())
+				if *save != "" {
+					if err := core.SaveTriageReport(*save+".triage.json", rep.Triage); err != nil {
+						fmt.Fprintln(os.Stderr, "tradeoff:", err)
+					} else {
+						fmt.Printf("triage report saved to %s\n\n", *save+".triage.json")
+					}
+				}
+			}
 			for _, te := range rep.Errors {
 				fmt.Fprintf(os.Stderr, "tradeoff: failed: %v\n", te)
 			}

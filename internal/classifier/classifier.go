@@ -107,11 +107,33 @@ func Train(obs []Observation, runs, maxVars int, seed int64) (*Model, error) {
 
 // NeedsSimulation predicts from a full 35-entry feature vector.
 func (m *Model) NeedsSimulation(x []float64) bool {
+	return m.Score(x) > 0.5
+}
+
+// scoreClamp keeps Score strictly inside (0, 1): the logistic link is
+// mathematically interior but saturates to exactly 0 or 1 in float64
+// once |z| passes ~37.
+const scoreClamp = 1e-9
+
+// Score returns the predicted probability that simulation would
+// disagree (DIFFtotal > 2%), from a full 35-entry feature vector. The
+// result is strictly inside (0, 1), which the triage scheduler relies
+// on: threshold 0 escalates everything and threshold 1 escalates
+// nothing, exactly.
+func (m *Model) Score(x []float64) float64 {
 	sub := make([]float64, len(m.colIdx))
 	for j, c := range m.colIdx {
 		sub[j] = x[c]
 	}
-	return m.CV.FinalModel.Predict(sub)
+	p := m.CV.FinalModel.Prob(sub)
+	return math.Min(1-scoreClamp, math.Max(scoreClamp, p))
+}
+
+// SelectedFeatures returns the final model's feature names with their
+// fitted coefficients, in selection-frequency order — what the
+// monotonicity property tests and the triage report inspect.
+func (m *Model) SelectedFeatures() ([]string, []float64) {
+	return append([]string(nil), m.CV.FinalCols...), append([]float64(nil), m.CV.FinalModel.Coef...)
 }
 
 // SuccessRate is the cross-validated success rate (1 − trimmed MR),

@@ -1,11 +1,19 @@
 package classifier
 
 import (
+	"flag"
+	"fmt"
 	"math/rand"
+	"os"
+	"strings"
 	"testing"
 
 	"hpctradeoff/internal/features"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden confusion-matrix file instead of comparing")
+
+const goldenConfusionPath = "testdata/confusion.golden"
 
 // synthObs fabricates a plausible observation population: comm-
 // sensitive traces mostly need simulation, insensitive ones mostly do
@@ -96,6 +104,128 @@ func TestNaiveVsTrainedModel(t *testing.T) {
 	_ = pred
 	if got := m.CV.TrimmedFN(); got < 0 || got > 1 {
 		t.Errorf("FN rate = %v", got)
+	}
+}
+
+// TestScoreStrictlyInterior pins the contract the triage scheduler's
+// endpoint exactness rests on: Score never returns 0 or 1, even on
+// feature vectors extreme enough to saturate the logistic link.
+func TestScoreStrictlyInterior(t *testing.T) {
+	obs := synthObs(235, 7)
+	m, err := Train(obs, 40, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := len(features.Names())
+	extremes := [][]float64{make([]float64, nf), make([]float64, nf)}
+	for j := range extremes[0] {
+		extremes[0][j] = -1e6
+		extremes[1][j] = 1e6
+	}
+	for _, o := range obs {
+		extremes = append(extremes, o.X)
+	}
+	for i, x := range extremes {
+		if p := m.Score(x); p <= 0 || p >= 1 {
+			t.Fatalf("Score(vector %d) = %v, want strictly inside (0,1)", i, p)
+		}
+	}
+}
+
+// TestScoreMonotonePerFeature checks the logistic model's structural
+// property the escalation ordering depends on: moving one selected
+// feature in the direction of its fitted coefficient can only raise
+// the predicted probability (and against it, only lower it), holding
+// everything else fixed.
+func TestScoreMonotonePerFeature(t *testing.T) {
+	obs := synthObs(235, 7)
+	m, err := Train(obs, 40, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, coefs := m.SelectedFeatures()
+	if len(names) == 0 {
+		t.Fatal("no features selected")
+	}
+	base := append([]float64(nil), obs[0].X...)
+	for k, name := range names {
+		idx := features.Index(name)
+		if idx < 0 {
+			t.Fatalf("selected feature %q not in the vector", name)
+		}
+		lo, hi := base[idx]-50, base[idx]+50
+		x := append([]float64(nil), base...)
+		prev := 0.0
+		for step := 0; step <= 20; step++ {
+			x[idx] = lo + (hi-lo)*float64(step)/20
+			p := m.Score(x)
+			if step > 0 {
+				switch {
+				case coefs[k] > 0 && p < prev:
+					t.Fatalf("%s (coef %+.3g): Score fell from %v to %v as the feature rose", name, coefs[k], prev, p)
+				case coefs[k] < 0 && p > prev:
+					t.Fatalf("%s (coef %+.3g): Score rose from %v to %v as the feature rose", name, coefs[k], prev, p)
+				}
+			}
+			prev = p
+		}
+	}
+}
+
+// TestConfusionGolden pins the trained model's full operating point on
+// the synthetic population — selected features, coefficient signs,
+// and the confusion matrix at the 0.5 decision cut — as a golden
+// artifact. Regenerate deliberately with:
+//
+//	go test ./internal/classifier/ -run TestConfusionGolden -update
+func TestConfusionGolden(t *testing.T) {
+	obs := synthObs(235, 7)
+	m, err := Train(obs, 40, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp, tn, fn := 0, 0, 0, 0
+	for _, o := range obs {
+		switch pred, want := m.NeedsSimulation(o.X), o.NeedsSimulation(); {
+		case pred && want:
+			tp++
+		case pred && !want:
+			fp++
+		case !pred && !want:
+			tn++
+		default:
+			fn++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "population: 235 synthetic traces (seed 7), protocol: 40 CV runs, 5 vars, seed 11\n")
+	names, coefs := m.SelectedFeatures()
+	fmt.Fprintf(&b, "selected features:\n")
+	for i, n := range names {
+		fmt.Fprintf(&b, "  %-8s %+.6f\n", n, coefs[i])
+	}
+	fmt.Fprintf(&b, "confusion matrix at P > 0.5 (rows: predicted, cols: observed need-sim):\n")
+	fmt.Fprintf(&b, "  TP=%d FP=%d\n  FN=%d TN=%d\n", tp, fp, fn, tn)
+	fmt.Fprintf(&b, "in-sample accuracy: %.4f\n", float64(tp+tn)/235)
+	fmt.Fprintf(&b, "cross-validated success rate: %.4f\n", m.SuccessRate())
+	got := b.String()
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenConfusionPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenConfusionPath)
+		return
+	}
+	want, err := os.ReadFile(goldenConfusionPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("confusion matrix drifted from golden artifact:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
 
@@ -183,8 +184,17 @@ type CampaignConfig struct {
 	// returns with everything completed so far already journaled.
 	Cancel <-chan struct{}
 	// Runner overrides how one trace executes — the campaign's fault
-	// injection seam for tests. Nil means RunOneOpts.
+	// injection seam for tests. Nil means RunOneOpts. The override is
+	// scheme-agnostic: a tiered campaign's model pass calls it too.
 	Runner func(p workload.Params, ro RunOptions) (*TraceResult, error)
+	// Triage, when non-nil, runs the campaign tiered: every trace gets
+	// a cheap MFACT pass, the enhanced-MFACT classifier (trained on a
+	// calibration split run at full fidelity) scores it, and only
+	// flagged traces escalate to the full scheme set. Off by default —
+	// nil preserves the historical run-everything campaign exactly.
+	// See internal/triage and runTriage for the phase structure and
+	// the determinism/resume contract.
+	Triage *triage.Policy
 }
 
 // CampaignReport summarizes a campaign for the operator.
@@ -210,6 +220,9 @@ type CampaignReport struct {
 	// Errors holds one TraceError per failed trace, in manifest order.
 	Errors []*TraceError
 	Wall   time.Duration
+	// Triage summarizes the tiered scheduler's decisions; nil for
+	// non-tiered campaigns.
+	Triage *TriageReport
 }
 
 // Err joins every per-trace failure into one error, or nil if all
@@ -249,9 +262,8 @@ func (r *CampaignReport) Summary() string {
 // a keep-going campaign reports trace failures via the report alone.
 func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *CampaignReport, error) {
 	start := time.Now()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
 	}
 	schemeNames := cfg.Schemes
 	if len(schemeNames) == 0 {
@@ -263,123 +275,295 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 			return nil, nil, fmt.Errorf("core: %w", err)
 		}
 	}
-
 	warnf := cfg.Warnf
 	if warnf == nil {
 		warnf = func(string, ...any) {}
 	}
+	if cfg.Cancel != nil && cfg.Run.Cancel == nil {
+		cfg.Run.Cancel = cfg.Cancel
+	}
+	var pol *triage.Policy
+	if cfg.Triage != nil {
+		// Normalized once here: the checkpoint header records the
+		// normalized form, so defaults changing across builds cannot
+		// silently re-plan a resumed campaign.
+		p := cfg.Triage.Normalize(len(ps))
+		pol = &p
+		if !containsScheme(schemeNames, scheme.MFACT) {
+			return nil, nil, fmt.Errorf("core: triage requires the %s scheme in the campaign selection", scheme.MFACT)
+		}
+		if len(schemeNames) < 2 {
+			return nil, nil, fmt.Errorf("core: triage needs at least one simulation scheme to escalate to")
+		}
+	}
 
 	rep := &CampaignReport{Total: len(ps)}
-	results := make([]*TraceResult, len(ps))
-	traceErrs := make([]*TraceError, len(ps))
+	c := &campaign{
+		ps:          ps,
+		cfg:         cfg,
+		schemeNames: schemeNames,
+		warnf:       warnf,
+		rep:         rep,
+		results:     make([]*TraceResult, len(ps)),
+		traceErrs:   make([]*TraceError, len(ps)),
+		triage:      pol,
+	}
 
 	done := map[string]*TraceResult{}
+	var replayed map[string]triage.Decision
 	if cfg.Resume && cfg.CheckpointPath == "" {
 		return nil, nil, fmt.Errorf("core: resume requested without a checkpoint path")
 	}
 	if cfg.CheckpointPath != "" {
 		// Read the journal up front even when not resuming: an existing
-		// journal written for a different scheme set (or schema version)
-		// must be rejected, never silently appended to.
-		loaded, header, sal, err := loadCheckpointFull(cfg.CheckpointPath)
+		// journal written for a different scheme set, triage policy, or
+		// schema version must be rejected, never silently appended to.
+		st, err := loadCheckpointState(cfg.CheckpointPath)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: resuming campaign: %w", err)
 		}
-		if header != nil && !sameSchemeSet(header, schemeNames) {
+		if st.schemes != nil && !sameSchemeSet(st.schemes, schemeNames) {
 			return nil, nil, fmt.Errorf("core: checkpoint %s was written for schemes [%s] but this campaign selects [%s]; use a fresh checkpoint path or a matching scheme selection",
-				cfg.CheckpointPath, strings.Join(header, ","), strings.Join(sortedSchemes(schemeNames), ","))
+				cfg.CheckpointPath, strings.Join(st.schemes, ","), strings.Join(sortedSchemes(schemeNames), ","))
+		}
+		// The triage policy is part of the journal's identity: decisions
+		// journaled under one policy must never satisfy another, in
+		// either direction.
+		switch {
+		case st.schemes != nil && pol == nil && st.triage != nil:
+			return nil, nil, fmt.Errorf("core: checkpoint %s was written by a tiered campaign (triage %s) but this campaign runs without triage; use a fresh checkpoint path or the matching -triage policy",
+				cfg.CheckpointPath, st.triage)
+		case st.schemes != nil && pol != nil && st.triage == nil:
+			return nil, nil, fmt.Errorf("core: checkpoint %s was written without triage but this campaign sets triage %s; use a fresh checkpoint path or drop -triage",
+				cfg.CheckpointPath, pol)
+		case pol != nil && st.triage != nil && !pol.Equal(*st.triage):
+			return nil, nil, fmt.Errorf("core: checkpoint %s was written under triage policy [%s] but this campaign sets [%s]; use a fresh checkpoint path or the matching policy",
+				cfg.CheckpointPath, st.triage, pol)
 		}
 		// Salvage before appending: a torn tail (crash mid-append) is
 		// cut back to the valid JSONL prefix — the records before it
 		// are all kept — so the journal never accretes a garbage line,
 		// and mid-file damage is reported, not silently skipped.
-		if sal != nil && sal.TornTail {
-			if err := os.Truncate(cfg.CheckpointPath, sal.TornAt); err != nil {
+		if st.salvage != nil && st.salvage.TornTail {
+			if err := os.Truncate(cfg.CheckpointPath, st.salvage.TornAt); err != nil {
 				return nil, nil, fmt.Errorf("core: salvaging checkpoint %s: %w", cfg.CheckpointPath, err)
 			}
-			warnf("core: checkpoint %s ended in a torn record (crash mid-append); salvaged the valid prefix, %d completed traces kept", cfg.CheckpointPath, len(loaded))
+			warnf("core: checkpoint %s ended in a torn record (crash mid-append); salvaged the valid prefix, %d completed traces kept", cfg.CheckpointPath, len(st.results))
 		}
-		if sal != nil && sal.Damaged > 0 {
-			warnf("core: checkpoint %s has %d damaged line(s); the affected traces will re-run", cfg.CheckpointPath, sal.Damaged)
+		if st.salvage != nil && st.salvage.Damaged > 0 {
+			warnf("core: checkpoint %s has %d damaged line(s); the affected traces will re-run", cfg.CheckpointPath, st.salvage.Damaged)
 		}
 		if cfg.Resume {
-			done = loaded
+			done = st.results
+			replayed = st.decisions
 		}
 	}
 
 	var pending []int
-	completed := 0
 	for i, p := range ps {
 		if r, ok := done[CampaignKey(p)]; ok {
-			results[i] = r
+			c.results[i] = r
 			rep.Skipped++
-			completed++
+			c.completed++
 			if cfg.Progress != nil {
-				cfg.Progress(completed, len(ps), r)
+				cfg.Progress(c.completed, len(ps), r)
 			}
 		} else {
 			pending = append(pending, i)
 		}
 	}
 
-	var ckpt *Checkpoint
 	if cfg.CheckpointPath != "" {
-		var err error
-		ckpt, err = OpenCheckpoint(cfg.CheckpointPath, schemeNames)
+		ckpt, err := OpenCheckpointTriage(cfg.CheckpointPath, schemeNames, pol)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: opening checkpoint: %w", err)
 		}
+		c.ckpt = ckpt
 		defer ckpt.Close()
 	}
 
 	// The breaker set is campaign-global: every worker's Runner shares
 	// it, so K consecutive failures of one scheme anywhere open the
 	// breaker for all workers.
-	var breakers *breakerSet
 	if cfg.Policy.BreakerThreshold > 0 {
-		breakers = newBreakerSet(cfg.Policy.BreakerThreshold, warnf)
+		c.breakers = newBreakerSet(cfg.Policy.BreakerThreshold, warnf)
 	}
-	if cfg.Cancel != nil && cfg.Run.Cancel == nil {
-		cfg.Run.Cancel = cfg.Cancel
-	}
-	// The model-only fallback applies when the campaign runs mfact
-	// plus at least one other scheme (a model-only campaign has
-	// nothing to degrade to).
-	degrade := cfg.Policy.DegradeToModel && len(schemeNames) > 1 &&
-		containsScheme(schemeNames, scheme.MFACT)
 
-	var (
-		mu       sync.Mutex
-		stop     atomic.Bool // stops scheduling new traces (fail-fast, infra errors)
-		retries  atomic.Int64
-		infraErr error
-	)
+	if pol != nil {
+		c.runTriage(pending, replayed)
+	} else {
+		c.runPool(poolOpts{indices: pending, schemes: schemeNames, record: true})
+	}
+
+	rep.Retried = int(c.retries.Load())
+	for _, te := range c.traceErrs {
+		if te != nil {
+			rep.Failed++
+			if te.Kind == KindCanceled {
+				rep.Canceled++
+			}
+			rep.Errors = append(rep.Errors, te)
+		}
+	}
+	for _, r := range c.results {
+		if r != nil {
+			rep.Succeeded++
+			if r.Degraded {
+				rep.Degraded++
+			}
+		}
+	}
+	rep.Succeeded -= rep.Skipped
+	if c.breakers != nil {
+		rep.BreakersOpen = c.breakers.openNames()
+	}
+	rep.Wall = time.Since(start)
+
+	if c.infraErr != nil {
+		return c.results, rep, c.infraErr
+	}
+	if !cfg.Policy.KeepGoing {
+		if err := rep.Err(); err != nil {
+			return c.results, rep, err
+		}
+	}
+	return c.results, rep, nil
+}
+
+// campaign is one RunCampaign invocation's shared state: the manifest,
+// the aligned result/error slices, the journal, and the halt/retry
+// accounting every worker pool shares. The tiered scheduler runs
+// several pools (calibration, model pass, escalation) over the same
+// campaign, so the state lives here rather than in RunCampaign's
+// locals.
+type campaign struct {
+	ps          []workload.Params
+	cfg         CampaignConfig
+	schemeNames []string
+	warnf       func(string, ...any)
+	rep         *CampaignReport
+	results     []*TraceResult
+	traceErrs   []*TraceError
+	triage      *triage.Policy
+	ckpt        *Checkpoint
+	breakers    *breakerSet
+
+	retries atomic.Int64
+	stop    atomic.Bool // stops scheduling new traces (fail-fast, infra errors)
+
+	mu        sync.Mutex
+	infraErr  error
+	completed int
+}
+
+// halted reports whether the campaign must schedule no further work:
+// a fail-fast failure, an infrastructure error, or cancellation.
+func (c *campaign) halted() bool {
+	if c.stop.Load() {
+		return true
+	}
+	if c.cfg.Cancel != nil {
+		select {
+		case <-c.cfg.Cancel:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// setInfraErr records the first infrastructure failure and halts the
+// campaign.
+func (c *campaign) setInfraErr(err error) {
+	c.mu.Lock()
+	if c.infraErr == nil {
+		c.infraErr = err
+	}
+	c.mu.Unlock()
+	c.stop.Store(true)
+}
+
+// finish records index i's final outcome: result and error slots,
+// completion count, progress callback, and the fail-fast halt.
+func (c *campaign) finish(i int, r *TraceResult, terr *TraceError) {
+	c.mu.Lock()
+	c.results[i], c.traceErrs[i] = r, terr
+	c.completed++
+	if c.cfg.Progress != nil {
+		c.cfg.Progress(c.completed, len(c.ps), r)
+	}
+	c.mu.Unlock()
+	if terr != nil && !c.cfg.Policy.KeepGoing {
+		c.stop.Store(true)
+	}
+}
+
+// journal appends index i's completed result to the checkpoint;
+// losing the journal is an infrastructure failure, not a trace
+// failure, so it halts the campaign.
+func (c *campaign) journal(i int, r *TraceResult) {
+	if c.ckpt == nil {
+		return
+	}
+	if err := c.ckpt.Append(CampaignKey(c.ps[i]), r); err != nil {
+		c.setInfraErr(fmt.Errorf("core: checkpointing %s: %w", CampaignKey(c.ps[i]), err))
+	}
+}
+
+// poolOpts configures one worker-pool pass over a subset of the
+// manifest.
+type poolOpts struct {
+	// indices are the manifest indices to run, dispatched in order.
+	indices []int
+	// schemes selects the Runner's scheme set for this pass.
+	schemes []string
+	// record marks the pass's results as final: journaled (when a
+	// checkpoint is open), stored in the campaign's result slice, and
+	// fed to the progress callback. A non-record pass (the triage
+	// model pass) delivers provisional results via onResult only.
+	record bool
+	// skip, when non-nil, is consulted in dispatch order before each
+	// job; returning true hands the job to demote instead of running
+	// it (the wall-clock budget's dispatch gate).
+	skip   func(i int) bool
+	demote func(i int)
+	// onResult, when non-nil, observes every finished job (called
+	// outside the campaign lock; distinct jobs never share an index).
+	onResult func(i int, r *TraceResult, terr *TraceError)
+}
+
+// runPool runs the indices through a worker pool. It preserves the
+// historical campaign semantics: one Runner (one scheme.Session set)
+// per worker, panic isolation and retry with jittered backoff per
+// trace, the shared circuit-breaker set, fail-fast halting, and
+// journal-loss-as-infrastructure-failure.
+func (c *campaign) runPool(o poolOpts) {
+	// The model-only fallback applies when the pass runs mfact plus at
+	// least one other scheme (a model-only pass has nothing to degrade
+	// to).
+	degrade := c.cfg.Policy.DegradeToModel && len(o.schemes) > 1 &&
+		containsScheme(o.schemes, scheme.MFACT)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < c.cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := cfg.Runner
+			runner := c.cfg.Runner
 			var fallback func(workload.Params, RunOptions) (*TraceResult, error)
 			if runner == nil {
 				// One Runner (one scheme.Session set) per worker: replay
 				// arenas and free lists amortize across this worker's
 				// traces without any cross-goroutine sharing.
-				rn, err := NewRunner(schemeNames)
+				rn, err := NewRunner(o.schemes)
 				if err != nil {
-					mu.Lock()
-					if infraErr == nil {
-						infraErr = fmt.Errorf("core: %w", err)
-					}
-					mu.Unlock()
-					stop.Store(true)
+					c.setInfraErr(fmt.Errorf("core: %w", err))
 					for range jobs {
 						// Drain so the producer never blocks on a dead pool.
 					}
 					return
 				}
-				rn.breakers = breakers
+				rn.breakers = c.breakers
 				runner = rn.RunOne
 				if degrade {
 					// The fallback Runner deliberately bypasses the breaker
@@ -391,7 +575,7 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 				}
 			}
 			for i := range jobs {
-				if stop.Load() {
+				if c.stop.Load() {
 					// The campaign is halting (fail-fast failure or
 					// checkpoint loss). Skip jobs already handed out: after
 					// a journal failure nothing more may run or append —
@@ -399,44 +583,37 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 					// single-worker campaign's schedule deterministic.
 					continue
 				}
-				r, terr := runWithRetry(ps[i], cfg.Policy, cfg.Run, runner, fallback, &retries)
+				r, terr := runWithRetry(c.ps[i], c.cfg.Policy, c.cfg.Run, runner, fallback, &c.retries)
 				if r != nil && r.Degraded {
-					warnf("core: trace %s degraded to model-only after %s failure", CampaignKey(ps[i]), r.DegradedFrom)
+					c.warnf("core: trace %s degraded to model-only after %s failure", CampaignKey(c.ps[i]), r.DegradedFrom)
 				}
-				if terr == nil && ckpt != nil {
-					if err := ckpt.Append(CampaignKey(ps[i]), r); err != nil {
-						// Losing the journal is an infrastructure failure,
-						// not a trace failure: stop the campaign.
-						mu.Lock()
-						if infraErr == nil {
-							infraErr = fmt.Errorf("core: checkpointing %s: %w", CampaignKey(ps[i]), err)
-						}
-						mu.Unlock()
-						stop.Store(true)
+				if o.onResult != nil {
+					o.onResult(i, r, terr)
+				}
+				if o.record {
+					if terr == nil {
+						c.journal(i, r)
 					}
-				}
-				mu.Lock()
-				results[i], traceErrs[i] = r, terr
-				completed++
-				if cfg.Progress != nil {
-					cfg.Progress(completed, len(ps), r)
-				}
-				mu.Unlock()
-				if terr != nil && !cfg.Policy.KeepGoing {
-					stop.Store(true)
+					c.finish(i, r, terr)
+				} else if terr != nil && !c.cfg.Policy.KeepGoing {
+					c.stop.Store(true)
 				}
 			}
 		}()
 	}
 produce:
-	for _, i := range pending {
-		if stop.Load() {
+	for _, i := range o.indices {
+		if c.stop.Load() {
 			break
 		}
-		if cfg.Cancel != nil {
+		if o.skip != nil && o.skip(i) {
+			o.demote(i)
+			continue
+		}
+		if c.cfg.Cancel != nil {
 			select {
 			case jobs <- i:
-			case <-cfg.Cancel:
+			case <-c.cfg.Cancel:
 				break produce
 			}
 		} else {
@@ -445,40 +622,6 @@ produce:
 	}
 	close(jobs)
 	wg.Wait()
-
-	rep.Retried = int(retries.Load())
-	for _, te := range traceErrs {
-		if te != nil {
-			rep.Failed++
-			if te.Kind == KindCanceled {
-				rep.Canceled++
-			}
-			rep.Errors = append(rep.Errors, te)
-		}
-	}
-	for _, r := range results {
-		if r != nil {
-			rep.Succeeded++
-			if r.Degraded {
-				rep.Degraded++
-			}
-		}
-	}
-	rep.Succeeded -= rep.Skipped
-	if breakers != nil {
-		rep.BreakersOpen = breakers.openNames()
-	}
-	rep.Wall = time.Since(start)
-
-	if infraErr != nil {
-		return results, rep, infraErr
-	}
-	if !cfg.Policy.KeepGoing {
-		if err := rep.Err(); err != nil {
-			return results, rep, err
-		}
-	}
-	return results, rep, nil
 }
 
 // runWithRetry executes one trace, isolating panics and retrying

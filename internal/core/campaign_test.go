@@ -411,7 +411,7 @@ func TestCheckpointRoundTripAndTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"version":2,"key":"half-writ`); err != nil {
+	if _, err := f.WriteString(`{"version":3,"key":"half-writ`); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -441,8 +441,9 @@ func TestCheckpointRoundTripAndTruncation(t *testing.T) {
 func TestCheckpointRejectsWrongVersion(t *testing.T) {
 	dir := t.TempDir()
 	cases := map[string]string{
-		"legacy-v1": `{"version":1,"key":"CG.A.x64.hopper.n0.s1.i0","result":{"ID":"CG.A.x64.hopper","Model":null,"Sims":{}}}` + "\n",
-		"future-v3": `{"version":3,"header":true,"schemes":["mfact"]}` + "\n",
+		"legacy-v1":  `{"version":1,"key":"CG.A.x64.hopper.n0.s1.i0","result":{"ID":"CG.A.x64.hopper","Model":null,"Sims":{}}}` + "\n",
+		"legacy-v2":  `{"version":2,"header":true,"schemes":["mfact","packet"]}` + "\n",
+		"future-v4":  `{"version":4,"header":true,"schemes":["mfact"]}` + "\n",
 		"no-version": `{"key":"CG.A.x64.hopper.n0.s1.i0","result":{"ID":"x"}}` + "\n",
 	}
 	for name, line := range cases {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"hpctradeoff/internal/faultinject"
+	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
 
@@ -43,19 +44,23 @@ var (
 // mismatches.
 
 // checkpointEntry is one journal line: a header (Header true, Schemes
-// set) or a trace record (Key and Result set).
+// set, plus the triage policy for tiered campaigns), a trace record
+// (Key and Result set), or a triage-decision record (Decision set).
 type checkpointEntry struct {
-	Version int          `json:"version"`
-	Header  bool         `json:"header,omitempty"`
-	Schemes []string     `json:"schemes,omitempty"`
-	Key     string       `json:"key,omitempty"`
-	Result  *TraceResult `json:"result,omitempty"`
+	Version  int              `json:"version"`
+	Header   bool             `json:"header,omitempty"`
+	Schemes  []string         `json:"schemes,omitempty"`
+	Triage   *triage.Policy   `json:"triage,omitempty"`
+	Key      string           `json:"key,omitempty"`
+	Result   *TraceResult     `json:"result,omitempty"`
+	Decision *triage.Decision `json:"decision,omitempty"`
 }
 
 // checkpointVersion is the journal schema version. Version 1 (the
 // pre-scheme-registry schema, whose results carried Model/Sims fields)
-// is rejected with ErrCheckpointVersion, not silently skipped.
-const checkpointVersion = 2
+// and version 2 (pre-triage: no policy header, no decision records)
+// are rejected with ErrCheckpointVersion, not silently skipped.
+const checkpointVersion = 3
 
 // ErrCheckpointVersion is wrapped by loader errors rejecting a journal
 // line written under a different checkpoint schema version.
@@ -118,6 +123,14 @@ type Checkpoint struct {
 // crash cut the last append short and no salvage ran — is repaired
 // first so the next record cannot merge into the torn fragment.
 func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
+	return OpenCheckpointTriage(path, schemes, nil)
+}
+
+// OpenCheckpointTriage is OpenCheckpoint for a tiered campaign: the
+// header additionally records the (normalized) triage policy, which is
+// the resume gate — a journal written under one policy refuses to
+// resume under a different one.
+func OpenCheckpointTriage(path string, schemes []string, pol *triage.Policy) (*Checkpoint, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -134,6 +147,7 @@ func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
 			Version: checkpointVersion,
 			Header:  true,
 			Schemes: sortedSchemes(schemes),
+			Triage:  pol,
 		}); err != nil {
 			f.Close()
 			return nil, err
@@ -201,6 +215,42 @@ func (c *Checkpoint) Append(key string, r *TraceResult) error {
 	return c.f.Sync()
 }
 
+// AppendDecision journals one triage decision and syncs. Decisions are
+// appended when the tiered scheduler plans (before any escalation
+// runs) and again when a dispatch-time budget demotes a trace; the
+// loader keeps the latest record per key, so a superseding demotion
+// wins on replay. The append shares the checkpoint failpoints (label
+// "decision:<key>") so the crash harness can tear a decision line at
+// an exact offset.
+func (c *Checkpoint) AppendDecision(d triage.Decision) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty {
+		if _, err := c.f.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+		c.dirty = false
+	}
+	if err := failCkptAppend.FailLabel("decision:" + d.Key); err != nil {
+		var inj *faultinject.Injected
+		if errors.As(err, &inj) && inj.Action == faultinject.ActTorn {
+			if b, merr := json.Marshal(checkpointEntry{Version: checkpointVersion, Decision: &d}); merr == nil {
+				c.f.Write(b[:len(b)/2])
+			}
+		}
+		c.dirty = true
+		return err
+	}
+	if err := c.enc.Encode(checkpointEntry{Version: checkpointVersion, Decision: &d}); err != nil {
+		c.dirty = true
+		return err
+	}
+	if err := failCkptSync.FailLabel("decision:" + d.Key); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
 // syncDir fsyncs a directory so a just-created or just-renamed entry
 // in it survives a crash.
 func syncDir(dir string) error {
@@ -241,23 +291,53 @@ type Salvage struct {
 // whole campaign while appending to a journal no old tool can read. A
 // key appearing twice keeps the latest entry.
 func LoadCheckpoint(path string) (map[string]*TraceResult, error) {
-	out, _, _, err := loadCheckpointFull(path)
-	return out, err
+	st, err := loadCheckpointState(path)
+	if err != nil {
+		return nil, err
+	}
+	return st.results, nil
 }
 
 // loadCheckpointFull is LoadCheckpoint also returning the header's
 // scheme set (nil when the journal has no header line) and a salvage
 // report of any damage it skipped over.
 func loadCheckpointFull(path string) (map[string]*TraceResult, []string, *Salvage, error) {
-	out := map[string]*TraceResult{}
-	var schemes []string
-	sal := &Salvage{}
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return out, nil, sal, nil
-	}
+	st, err := loadCheckpointState(path)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	return st.results, st.schemes, st.salvage, nil
+}
+
+// checkpointState is everything the loader recovers from a journal:
+// the completed results, the header's scheme set and triage policy,
+// the journaled triage decisions (latest record per key), and a
+// salvage report of any damage skipped over.
+type checkpointState struct {
+	results map[string]*TraceResult
+	// schemes is the header's scheme set; nil when the journal has no
+	// header line (an empty or missing file).
+	schemes []string
+	// triage is the header's triage policy; nil when the journal was
+	// written by a non-tiered campaign.
+	triage    *triage.Policy
+	decisions map[string]triage.Decision
+	salvage   *Salvage
+}
+
+// loadCheckpointState reads a journal into a checkpointState.
+func loadCheckpointState(path string) (*checkpointState, error) {
+	st := &checkpointState{
+		results:   map[string]*TraceResult{},
+		decisions: map[string]triage.Decision{},
+		salvage:   &Salvage{},
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
 	}
 	defer f.Close()
 	rd := bufio.NewReaderSize(f, 64<<10)
@@ -268,28 +348,31 @@ func loadCheckpointFull(path string) (map[string]*TraceResult, []string, *Salvag
 		offset += int64(len(raw))
 		terminated := rerr == nil
 		if rerr != nil && rerr != io.EOF {
-			return nil, nil, nil, fmt.Errorf("core: reading checkpoint %s: %w", path, rerr)
+			return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, rerr)
 		}
 		line := bytes.TrimSpace(raw)
 		if len(line) > 0 {
 			var e checkpointEntry
 			if perr := json.Unmarshal(line, &e); perr != nil {
 				if terminated {
-					sal.Damaged++
+					st.salvage.Damaged++
 				} else {
-					sal.TornTail = true
-					sal.TornAt = lineStart
+					st.salvage.TornTail = true
+					st.salvage.TornAt = lineStart
 				}
 			} else {
 				if e.Version != checkpointVersion {
-					return nil, nil, nil, fmt.Errorf("%w: %s has a version-%d line, this build writes version %d; start a fresh checkpoint or convert the journal",
+					return nil, fmt.Errorf("%w: %s has a version-%d line, this build writes version %d; start a fresh checkpoint or convert the journal",
 						ErrCheckpointVersion, path, e.Version, checkpointVersion)
 				}
 				switch {
 				case e.Header:
-					schemes = e.Schemes
+					st.schemes = e.Schemes
+					st.triage = e.Triage
 				case e.Key != "" && e.Result != nil:
-					out[e.Key] = e.Result
+					st.results[e.Key] = e.Result
+				case e.Decision != nil && e.Decision.Key != "":
+					st.decisions[e.Decision.Key] = *e.Decision
 				}
 			}
 		}
@@ -297,5 +380,5 @@ func loadCheckpointFull(path string) (map[string]*TraceResult, []string, *Salvag
 			break
 		}
 	}
-	return out, schemes, sal, nil
+	return st, nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hpctradeoff/internal/triage"
 )
 
 // FuzzCheckpointLoader throws arbitrary bytes at the JSONL checkpoint
@@ -41,12 +43,27 @@ func FuzzCheckpointLoader(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add(valid)
 	f.Add(append(append([]byte{}, valid...), '\n'))
-	f.Add(valid[:len(valid)/2])                                      // crash mid-append
-	f.Add([]byte("{\"version\":999,\"key\":\"k\",\"result\":{}}\n")) // future version
+	f.Add(valid[:len(valid)/2])                                                                                                       // crash mid-append
+	f.Add([]byte("{\"version\":999,\"key\":\"k\",\"result\":{}}\n"))                                                                  // future version
 	f.Add([]byte(`{"version":1,"key":"CG.A.x64.cielito.n0.s1.i0","result":{"ID":"CG.A.x64.cielito","Model":null,"Sims":{}}}` + "\n")) // legacy pre-registry record
-	f.Add([]byte(`{"version":2,"header":true,"schemes":["mfact","packet"]}` + "\n"))                                                  // bare header
+	f.Add([]byte(`{"version":3,"header":true,"schemes":["mfact","packet"]}` + "\n"))                                                  // bare header
 	f.Add([]byte("not json at all\n{\"version\":2}\n\n"))
 	f.Add([]byte{0x00, 0xff, 0xfe, '\n', '{', '}'})
+
+	// Checkpoint v3 shapes: triage decision records and the policy
+	// header that gates resume.
+	decision, err := json.Marshal(checkpointEntry{
+		Version:  checkpointVersion,
+		Decision: &triage.Decision{Key: "CG.A.x64.cielito.n0.s1.i0", Score: 0.73, Escalate: true, Reason: triage.ReasonFlagged},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(append([]byte{}, decision...), '\n'))                                                                                                     // valid decision record
+	f.Add(decision[:len(decision)/2])                                                                                                                      // torn decision (crash mid-append)
+	f.Add([]byte(`{"version":2,"key":"CG.A.x64.cielito.n0.s1.i0","result":{"ID":"CG.A.x64.cielito"}}` + "\n"))                                             // legacy v2 (pre-triage) record
+	f.Add([]byte(`{"version":3,"header":true,"schemes":["mfact","packet"],"triage":{"threshold":0.5,"calibration":16,"cv_runs":50,"max_vars":5}}` + "\n")) // triage header (policy-mismatch gate input)
+	f.Add([]byte(`{"version":3,"decision":{"key":"","reason":"flagged"}}` + "\n"))                                                                         // decision with empty key: skipped, not loaded
 
 	// acceptable reports whether err is one of the loader's two
 	// sanctioned failure modes.

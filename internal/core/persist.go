@@ -85,3 +85,62 @@ func LoadResultsFile(path string) ([]*TraceResult, error) {
 	defer f.Close()
 	return LoadResults(f)
 }
+
+// triageReportFile is the on-disk envelope for a tiered campaign's
+// decision report (cmd/tradeoff -save writes it next to the results;
+// cmd/diffreport -triage reads it back).
+type triageReportFile struct {
+	Version int           `json:"version"`
+	Triage  *TriageReport `json:"triage"`
+}
+
+// triageReportVersion 1 is the first shape.
+const triageReportVersion = 1
+
+// SaveTriageReport writes a tiered campaign's report to path with the
+// same atomic write-sync-rename protocol as SaveResultsFile.
+func SaveTriageReport(path string, t *TriageReport) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err = enc.Encode(triageReportFile{Version: triageReportVersion, Triage: t}); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadTriageReport reads a report written by SaveTriageReport.
+func LoadTriageReport(path string) (*TriageReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tf triageReportFile
+	if err := json.NewDecoder(f).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("core: decoding triage report: %w", err)
+	}
+	if tf.Version != triageReportVersion || tf.Triage == nil {
+		return nil, fmt.Errorf("core: triage report version %d, want %d", tf.Version, triageReportVersion)
+	}
+	return tf.Triage, nil
+}

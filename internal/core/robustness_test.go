@@ -92,7 +92,7 @@ func TestCheckpointSalvageTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"version":2,"key":"torn-vic`); err != nil {
+	if _, err := f.WriteString(`{"version":3,"key":"torn-vic`); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -123,10 +123,10 @@ func TestCheckpointSalvageTornTail(t *testing.T) {
 // tail.
 func TestCheckpointSalvageDamagedInterior(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	lines := `{"version":2,"header":true,"schemes":["mfact"]}
-{"version":2,"key":"a","result":{"ID":"a"}}
+	lines := `{"version":3,"header":true,"schemes":["mfact"]}
+{"version":3,"key":"a","result":{"ID":"a"}}
 }}}garbage not json{{{
-{"version":2,"key":"b","result":{"ID":"b"}}
+{"version":3,"key":"b","result":{"ID":"b"}}
 `
 	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
 		t.Fatal(err)
@@ -151,8 +151,8 @@ func TestCheckpointSalvageDamagedInterior(t *testing.T) {
 // complete record: it must be kept, not truncated away.
 func TestCheckpointSalvageParsableUnterminatedTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	lines := `{"version":2,"header":true,"schemes":["mfact"]}
-{"version":2,"key":"a","result":{"ID":"a"}}`
+	lines := `{"version":3,"header":true,"schemes":["mfact"]}
+{"version":3,"key":"a","result":{"ID":"a"}}`
 	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestCheckpointAppendAfterTornTailDoesNotMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"version":2,"key":"torn`); err != nil {
+	if _, err := f.WriteString(`{"version":3,"key":"torn`); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()

@@ -1,0 +1,220 @@
+package triage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hpctradeoff/internal/classifier"
+	"hpctradeoff/internal/metrics"
+)
+
+// The frontier report answers the question the tiered scheduler
+// exists for: how much wall clock does triage save, and how much
+// accuracy does it give up, as the threshold moves from run-everything
+// (0) to model-only (1)? It is computed post hoc from a run-everything
+// result set — there every trace carries both the model prediction and
+// the simulation walls, so every point of the frontier is exact, not
+// extrapolated.
+
+// Point is one trace of a run-everything result set, reduced to what
+// the frontier needs. Core builds these from TraceResults
+// (core.TriagePoints); keeping the type here lets cmd/diffreport sweep
+// without importing the campaign layer's internals.
+type Point struct {
+	// Key is the trace's campaign key.
+	Key string
+	// X is the full Table III feature vector (CL recomputed from the
+	// stored sweep, as classifier training does).
+	X []float64
+	// Diff is the observed |T_sim/T_model − 1| the tier would rescue by
+	// escalating (the study's packet-flow DIFFtotal; the largest sim
+	// DIFF when packet-flow is absent).
+	Diff float64
+	// ModelWall and SimWall split the trace's cost: one MFACT pass vs
+	// every simulation scheme's wall clock.
+	ModelWall, SimWall time.Duration
+}
+
+// FrontierRow is one threshold's operating point.
+type FrontierRow struct {
+	Threshold float64
+	// Total counts the swept traces; Calibration of them trained the
+	// classifier (always run at full fidelity); Escalated counts the
+	// escalations beyond calibration; Demoted counts flagged traces a
+	// budget demoted.
+	Total, Calibration, Escalated, Demoted int
+	// EscalationRate is (Calibration + Escalated) / Total.
+	EscalationRate float64
+	// RescuedDiff is the Σ|DIFF| mass over traces that escalated (the
+	// model error simulation corrected); MissedDiff the mass over
+	// traces that did not (the error the tier accepts). MeanResidual is
+	// MissedDiff / Total — the frontier's accuracy-loss axis.
+	RescuedDiff, MissedDiff, MeanResidual float64
+	// MissedNeedSim counts non-escalated traces whose DIFF exceeds the
+	// 2% need-simulation threshold: the classifier's false negatives at
+	// this operating point.
+	MissedNeedSim int
+	// WallFull is the run-everything cost; WallTiered what the tiered
+	// pipeline spends (every trace's model pass, plus full runs for
+	// calibration and escalated traces). WallSaved is their relative
+	// difference — the frontier's cost axis.
+	WallFull, WallTiered time.Duration
+	WallSaved            float64
+	// ClassifierDown marks a row produced under escalate-always
+	// degradation (training or scoring failed).
+	ClassifierDown bool
+}
+
+// Frontier sweeps the policy's scheduler over the given thresholds
+// against a run-everything result set. Training happens once (the
+// calibration split and seed come from the policy); each threshold
+// then plans the remaining traces and the row accounts for the exact
+// walls and DIFF mass the plan would have spent and rescued.
+func Frontier(points []Point, p Policy, thresholds []float64) ([]FrontierRow, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("triage: no frontier points")
+	}
+	p = p.Normalize(len(points))
+
+	// One trained model shared by every interior threshold. Calibration
+	// indices depend only on (n, policy), not the threshold, so use a
+	// probe scheduler with an interior threshold to derive them.
+	probe := New(Policy{Threshold: 0.5, Calibration: p.Calibration,
+		CVRuns: p.CVRuns, MaxVars: p.MaxVars, Seed: p.Seed})
+	calIdx := probe.CalibrationIndices(len(points))
+	isCal := make(map[int]bool, len(calIdx))
+	var obs []classifier.Observation
+	for _, i := range calIdx {
+		isCal[i] = true
+		if points[i].X != nil {
+			obs = append(obs, classifier.Observation{ID: points[i].Key,
+				X: points[i].X, DiffTotal: points[i].Diff})
+		}
+	}
+	trainErr := probe.Train(obs)
+
+	var rows []FrontierRow
+	for _, thr := range thresholds {
+		s := New(Policy{Threshold: thr, MaxEscalations: p.MaxEscalations, MaxWall: p.MaxWall,
+			Calibration: p.Calibration, CVRuns: p.CVRuns, MaxVars: p.MaxVars, Seed: p.Seed})
+		s.model, s.down, s.downErr = probe.model, probe.down, probe.downErr
+
+		row := FrontierRow{Threshold: thr, Total: len(points)}
+		if s.NeedsClassifier() {
+			row.Calibration = len(calIdx)
+			if down, _ := s.Down(); down {
+				row.ClassifierDown = trainErr != nil || down
+			}
+		}
+
+		var cands []Candidate
+		var candPts []Point
+		for i, pt := range points {
+			if s.NeedsClassifier() && isCal[i] {
+				// Calibration traces always run at full fidelity.
+				row.WallTiered += pt.ModelWall + pt.SimWall
+				row.RescuedDiff += pt.Diff
+				continue
+			}
+			cands = append(cands, Candidate{Key: pt.Key, X: pt.X})
+			candPts = append(candPts, pt)
+		}
+		decisions := s.Plan(cands)
+		decisions = applyWallBudget(decisions, candPts, p.MaxWall)
+		for i, d := range decisions {
+			pt := candPts[i]
+			if s.NeedsClassifier() {
+				// The tiered pipeline models every non-calibration trace
+				// first; escalation re-runs the full set on top.
+				row.WallTiered += pt.ModelWall
+			}
+			if d.Escalate {
+				row.Escalated++
+				row.WallTiered += pt.ModelWall + pt.SimWall
+				row.RescuedDiff += pt.Diff
+			} else {
+				if !s.NeedsClassifier() {
+					// Model-only endpoint: the model pass is the only cost.
+					row.WallTiered += pt.ModelWall
+				}
+				row.MissedDiff += pt.Diff
+				if pt.Diff > classifier.NeedSimThreshold {
+					row.MissedNeedSim++
+				}
+				if d.Reason == ReasonBudgetCount || d.Reason == ReasonBudgetWall {
+					row.Demoted++
+				}
+			}
+		}
+		for _, pt := range points {
+			row.WallFull += pt.ModelWall + pt.SimWall
+		}
+		row.EscalationRate = float64(row.Calibration+row.Escalated) / float64(row.Total)
+		row.MeanResidual = row.MissedDiff / float64(row.Total)
+		if row.WallFull > 0 {
+			row.WallSaved = 1 - float64(row.WallTiered)/float64(row.WallFull)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// applyWallBudget demotes flagged escalations, lowest score first,
+// until the planned escalation wall fits the budget — the post-hoc
+// mirror of the campaign's greedy dispatch-time spend (which takes
+// candidates in descending score order until the budget runs out).
+func applyWallBudget(ds []Decision, pts []Point, budget time.Duration) []Decision {
+	if budget <= 0 {
+		return ds
+	}
+	order := make([]int, 0, len(ds))
+	for i, d := range ds {
+		if d.Escalate && (d.Reason == ReasonFlagged || d.Reason == ReasonEscalateAll) {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := ds[order[a]], ds[order[b]]
+		if da.Score != db.Score {
+			return da.Score > db.Score
+		}
+		return da.Key < db.Key
+	})
+	var spent time.Duration
+	for _, i := range order {
+		if spent >= budget {
+			ds[i].Escalate = false
+			ds[i].Reason = ReasonBudgetWall
+			continue
+		}
+		spent += pts[i].ModelWall + pts[i].SimWall
+	}
+	return ds
+}
+
+// RenderFrontier formats the sweep as the study's frontier table.
+func RenderFrontier(rows []FrontierRow) string {
+	var b strings.Builder
+	b.WriteString("Accuracy-vs-cost frontier (tiered triage vs run-everything)\n")
+	var trows [][]string
+	for _, r := range rows {
+		note := ""
+		if r.ClassifierDown {
+			note = "classifier down: escalate-always"
+		}
+		trows = append(trows, []string{
+			fmt.Sprintf("%.2f", r.Threshold),
+			fmt.Sprintf("%d+%d/%d", r.Escalated, r.Calibration, r.Total),
+			metrics.Pct(r.EscalationRate),
+			metrics.Pct(r.MeanResidual),
+			fmt.Sprint(r.MissedNeedSim),
+			metrics.Pct(r.WallSaved),
+			note,
+		})
+	}
+	b.WriteString(metrics.Table(
+		[]string{"Thresh", "Esc+cal", "EscRate", "AccLoss", "MissedNeedSim", "WallSaved", ""}, trows))
+	return b.String()
+}
