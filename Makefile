@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds triage-smoke chaos-short chaos study figures clean
+.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds triage-smoke chaos-short chaos cmb-scaling study figures clean
 
 all: check
 
@@ -42,7 +42,9 @@ else
 endif
 
 # bench-short is the smoke variant wired into `make check`: one short
-# measurement per scenario, results printed but not written.
+# measurement per scenario, results printed but not written. The
+# scenario list includes trace/codec-open-v3, so this smoke run
+# exercises the zero-copy mmap open path end to end.
 bench-short:
 	$(GO) run ./cmd/bench -short -out ""
 
@@ -84,6 +86,12 @@ chaos-short:
 # chaos is the long soak: more seeds, a larger suite, all four schemes.
 chaos:
 	$(GO) run ./cmd/chaos -seed 1 -runs 200 -traces 12 -schemes mfact,packet,flow,packetflow
+
+# cmb-scaling regenerates the committed CMB engine scaling study:
+# events/sec vs LP count, lookahead sensitivity, and null-message
+# overhead for both PHOLD and the parallel packet network.
+cmb-scaling:
+	$(GO) run ./cmd/bench -cmb-scaling results/cmb_scaling.txt
 
 # The full 235-trace study (Tables I-II, Figures 1-5, Table IV, rates).
 study:

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"hpctradeoff/internal/des"
+	"hpctradeoff/internal/machine"
+	"hpctradeoff/internal/simnet"
+	"hpctradeoff/internal/simtime"
+)
+
+// The CMB scaling study characterizes the conservative parallel engine
+// the way the paper characterizes its simulators — by cost per event —
+// along the three axes that dominate a Chandy–Misra–Bryant deployment:
+//
+//   - LP count: more partitions mean more goroutines competing for
+//     cores and, crucially, more null traffic (every guarantee is
+//     broadcast to all peers, so null volume grows ~quadratically with
+//     LPs at fixed blocking rate);
+//   - lookahead: the protocol's fuel. Shrinking it forces LPs to block
+//     and re-broadcast more often for the same event count;
+//   - null-message overhead: nulls per real event, the fraction of the
+//     engine's work that is pure synchronization.
+//
+// Event and null counts are deterministic (the engine's tie-break is
+// seeded by sender sequence, not arrival timing); wall-clock columns
+// are environment-dependent and recorded with the host's GOMAXPROCS so
+// a single-core container's numbers are read as overhead curves, not
+// speedup curves.
+
+// cmbPoint is one run's measurements.
+type cmbPoint struct {
+	lps       int
+	lookahead simtime.Time
+	events    uint64
+	nulls     uint64
+	wall      time.Duration
+	// minSteps/maxSteps bound the per-LP event counts — the partition
+	// balance (1.0 = perfectly balanced).
+	minSteps, maxSteps uint64
+}
+
+func (p cmbPoint) nullsPerEvent() float64 {
+	if p.events == 0 {
+		return 0
+	}
+	return float64(p.nulls) / float64(p.events)
+}
+
+func (p cmbPoint) eventsPerSec() float64 {
+	if p.wall <= 0 {
+		return 0
+	}
+	return float64(p.events) / p.wall.Seconds()
+}
+
+func (p cmbPoint) balance() float64 {
+	if p.maxSteps == 0 {
+		return 1
+	}
+	return float64(p.minSteps) / float64(p.maxSteps)
+}
+
+// runPHOLDPoint runs the PHOLD ring (the classic PDES stress pattern:
+// every event schedules exactly one successor on the next actor) with
+// the given partitioning and returns its measurements. The workload is
+// fixed — only the partitioning and lookahead vary — so the event
+// count is identical on every row and the deltas isolate protocol
+// cost.
+func runPHOLDPoint(lps, actors, hops, chains int, hopDelay, la simtime.Time) (cmbPoint, error) {
+	p, err := des.NewParallel(lps, la)
+	if err != nil {
+		return cmbPoint{}, err
+	}
+	as := make([]*pholdActor, actors)
+	ids := make([]des.ActorID, actors)
+	for i := range as {
+		as[i] = &pholdActor{id: i, la: hopDelay}
+		ids[i] = p.AddActor(as[i], i%lps)
+	}
+	for _, a := range as {
+		a.peers = ids
+	}
+	for i := 0; i < chains; i++ {
+		p.ScheduleInitial(ids[i%actors], simtime.Time(i), hops)
+	}
+	start := time.Now()
+	p.Run()
+	pt := cmbPoint{
+		lps:       lps,
+		lookahead: la,
+		events:    p.Steps(),
+		nulls:     p.NullMessages(),
+		wall:      time.Since(start),
+	}
+	for i, s := range p.PerLP() {
+		if i == 0 || s.Steps < pt.minSteps {
+			pt.minSteps = s.Steps
+		}
+		if s.Steps > pt.maxSteps {
+			pt.maxSteps = s.Steps
+		}
+	}
+	return pt, nil
+}
+
+// runPacketPoint runs the 96-rank permutation traffic pattern through
+// the CMB-parallel packet network partitioned over lps LPs.
+func runPacketPoint(lps int, bytes int64) (cmbPoint, error) {
+	mach, err := machine.Hopper(96, 8)
+	if err != nil {
+		return cmbPoint{}, err
+	}
+	pp, err := simnet.NewParallelPacket(mach, simnet.Config{}, lps)
+	if err != nil {
+		return cmbPoint{}, err
+	}
+	for r := 0; r < 96; r++ {
+		d := (r*11 + 5) % 96
+		if d != r {
+			pp.Inject(0, int32(r), int32(d), bytes)
+		}
+	}
+	start := time.Now()
+	pp.Run()
+	pt := cmbPoint{
+		lps:    lps,
+		events: pp.Steps(),
+		nulls:  pp.NullMessages(),
+		wall:   time.Since(start),
+	}
+	for i, s := range pp.PerLP() {
+		if i == 0 || s.Steps < pt.minSteps {
+			pt.minSteps = s.Steps
+		}
+		if s.Steps > pt.maxSteps {
+			pt.maxSteps = s.Steps
+		}
+	}
+	return pt, nil
+}
+
+// runCMBScaling runs the full study and writes the report to path.
+func runCMBScaling(path string, short bool) error {
+	hops, chains := 20_000, 8
+	packetBytes := int64(256 << 10)
+	if short {
+		hops, chains = 2_000, 4
+		packetBytes = 32 << 10
+	}
+	const actors = 64
+	baseLA := simtime.Microsecond
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "CMB scaling study (%s, go %s, num_cpu=%d, GOMAXPROCS=%d)\n",
+		time.Now().Format("2006-01-02"), runtime.Version(), runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "Event and null counts are deterministic; wall-clock columns depend on the host.\n")
+	fmt.Fprintf(&b, "On a single-core host the LP sweep measures synchronization OVERHEAD, not speedup.\n\n")
+
+	fmt.Fprintf(&b, "=== events/sec vs LP count (PHOLD: %d actors, %d chains x %d hops, lookahead %v) ===\n",
+		actors, chains, hops, baseLA)
+	fmt.Fprintf(&b, "%4s %12s %12s %12s %12s %14s %9s\n",
+		"LPs", "events", "nulls", "nulls/event", "wall", "events/sec", "balance")
+	for _, lps := range []int{1, 2, 4, 8, 16} {
+		pt, err := runPHOLDPoint(lps, actors, hops, chains, baseLA, baseLA)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%4d %12d %12d %12.3f %12v %14.0f %9.3f\n",
+			pt.lps, pt.events, pt.nulls, pt.nullsPerEvent(), pt.wall.Round(time.Microsecond), pt.eventsPerSec(), pt.balance())
+	}
+
+	fmt.Fprintf(&b, "\n=== lookahead sensitivity (PHOLD as above, 4 LPs; event delay stays %v) ===\n", baseLA)
+	fmt.Fprintf(&b, "%10s %12s %12s %12s %12s %14s\n",
+		"lookahead", "events", "nulls", "nulls/event", "wall", "events/sec")
+	for _, la := range []simtime.Time{
+		100 * simtime.Nanosecond,
+		250 * simtime.Nanosecond,
+		simtime.Microsecond,
+	} {
+		// The actors still space events one microsecond apart (PHOLD's
+		// hop delay must stay ≥ the engine lookahead, so we sweep the
+		// lookahead downward from it): a smaller lookahead weakens every
+		// guarantee without changing the event schedule.
+		pt, err := runPHOLDPoint(4, actors, hops, chains, baseLA, la)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%10v %12d %12d %12.3f %12v %14.0f\n",
+			pt.lookahead, pt.events, pt.nulls, pt.nullsPerEvent(), pt.wall.Round(time.Microsecond), pt.eventsPerSec())
+	}
+
+	fmt.Fprintf(&b, "\n=== CMB-parallel packet network (hopper, 96-rank permutation, %d KiB/message) ===\n", packetBytes>>10)
+	fmt.Fprintf(&b, "%4s %12s %12s %12s %12s %14s %9s\n",
+		"LPs", "events", "nulls", "nulls/event", "wall", "events/sec", "balance")
+	for _, lps := range []int{1, 2, 4, 8} {
+		pt, err := runPacketPoint(lps, packetBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%4d %12d %12d %12.3f %12v %14.0f %9.3f\n",
+			pt.lps, pt.events, pt.nulls, pt.nullsPerEvent(), pt.wall.Round(time.Microsecond), pt.eventsPerSec(), pt.balance())
+	}
+
+	if path == "-" {
+		fmt.Print(b.String())
+		return nil
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

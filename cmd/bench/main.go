@@ -59,9 +59,17 @@ type Entry struct {
 
 // Snapshot is the on-disk benchmark record.
 type Snapshot struct {
-	Date         string  `json:"date"`
-	GoVersion    string  `json:"go_version"`
-	NumCPU       int     `json:"num_cpu"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler's actual parallelism at run time —
+	// num_cpu alone misreads snapshots taken under GOMAXPROCS caps
+	// (containers, taskset) as same-machine comparisons.
+	GoMaxProcs int `json:"go_max_procs"`
+	// Shards records the campaign shard count the snapshot was taken
+	// under (1 = unsharded), so numbers from a sharded environment are
+	// never compared against single-process ones unknowingly.
+	Shards       int     `json:"shards"`
 	Short        bool    `json:"short,omitempty"`
 	Entries      []Entry `json:"entries"`
 	BaselineFile string  `json:"baseline_file,omitempty"`
@@ -92,6 +100,8 @@ func scenarios() []scenario {
 		{"trace/replay-cursor", benchReplayCursor},
 		{"trace/codec-roundtrip", benchCodecRoundtrip},
 		{"trace/codec-roundtrip-v1", benchCodecRoundtripV1},
+		{"trace/codec-decode-v2", benchCodecDecodeV2},
+		{"trace/codec-open-v3", benchCodecOpenV3},
 		{"trace/materialize-full", benchMaterializeFull},
 		{"trace/materialize-vs-stream", benchStream},
 		{"campaign/materialized", benchCampaignMaterialized},
@@ -246,6 +256,9 @@ var (
 	replayCols *trace.Columns
 	replayMach *machine.Config
 	replayEnc  struct{ v1, v2 []byte }
+	// replayV3Path is the replay trace written in the zero-copy v3
+	// format to a temp file, the input for trace/codec-open-v3.
+	replayV3Path string
 )
 
 // replayParams is the shared replay workload.
@@ -280,6 +293,18 @@ func ensureReplay(short bool) {
 		panic(err)
 	}
 	replayEnc.v1, replayEnc.v2 = v1.Bytes(), v2.Bytes()
+
+	f, err := os.CreateTemp("", "bench-*.htrc3")
+	if err != nil {
+		panic(err)
+	}
+	if err := trace.WriteColumnsV3(f, replayCols); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	replayV3Path = f.Name()
 }
 
 func mkReplay(m simnet.Model) func(bool) uint64 {
@@ -321,6 +346,35 @@ func benchCodecRoundtrip(short bool) uint64 {
 		panic(err)
 	}
 	return uint64(c.NumEvents())
+}
+
+// benchCodecDecodeV2 is the decode half alone — the cost a campaign
+// pays to open a stored v2 trace. Its v3 counterpart below opens the
+// same trace through the zero-copy mmap path; the pair is the headline
+// comparison for the v3 format (open cost per event ≈ 0).
+func benchCodecDecodeV2(short bool) uint64 {
+	ensureReplay(short)
+	c, err := trace.ReadColumns(bytes.NewReader(replayEnc.v2))
+	if err != nil {
+		panic(err)
+	}
+	return uint64(c.NumEvents())
+}
+
+// benchCodecOpenV3 opens the replay trace from a version-3 file via
+// OpenMapped: mmap, header/extent validation, and the per-event
+// semantic scan — but no decode and no per-column allocation.
+func benchCodecOpenV3(short bool) uint64 {
+	ensureReplay(short)
+	m, err := trace.OpenMapped(replayV3Path)
+	if err != nil {
+		panic(err)
+	}
+	n := uint64(m.NumEvents())
+	if err := m.Close(); err != nil {
+		panic(err)
+	}
+	return n
 }
 
 func benchCodecRoundtripV1(short bool) uint64 {
@@ -519,7 +573,17 @@ func main() {
 	short := flag.Bool("short", false, "reduced workloads (CI gate mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	shards := flag.Int("shards", 1, "campaign shard count this environment runs under (recorded in the snapshot; 1 = unsharded)")
+	cmbOut := flag.String("cmb-scaling", "", "run the CMB scaling study (events/sec vs LP count, lookahead sensitivity, null-message overhead) and write it to this file instead of the scenario snapshot")
 	flag.Parse()
+
+	if *cmbOut != "" {
+		if err := runCMBScaling(*cmbOut, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -549,10 +613,12 @@ func main() {
 	}
 
 	snap := Snapshot{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Short:     *short,
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     *shards,
+		Short:      *short,
 	}
 	fmt.Printf("%-28s %14s %14s %14s\n", "scenario", "ns/event", "allocs/event", "B/event")
 	for _, sc := range scenarios() {

@@ -31,6 +31,10 @@ func main() {
 }
 
 func describe(path string, verbose bool) error {
+	version, err := trace.FileVersion(path)
+	if err != nil {
+		return err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -46,6 +50,11 @@ func describe(path string, verbose bool) error {
 	tr := cols.Materialize()
 
 	fmt.Printf("%s\n", path)
+	fmt.Printf("  codec         v%d", version)
+	if version == 3 {
+		fmt.Printf(" (zero-copy mappable)")
+	}
+	fmt.Println()
 	fmt.Printf("  id            %s\n", tr.Meta.ID())
 	fmt.Printf("  ranks         %d (%d per node)\n", tr.Meta.NumRanks, tr.Meta.RanksPerNode)
 	fmt.Printf("  machine       %s\n", tr.Meta.Machine)
@@ -59,6 +68,11 @@ func describe(path string, verbose bool) error {
 	colBytes, aosBytes := cols.FootprintBytes(), trace.AoSFootprintBytes(tr)
 	fmt.Printf("  resident est  columnar %.2f MB, array-of-structs %.2f MB (%.0f%%)\n",
 		float64(colBytes)/1e6, float64(aosBytes)/1e6, 100*float64(colBytes)/float64(max(aosBytes, 1)))
+	// A v3 file maps in as-is, so its on-disk size IS the mapped
+	// resident estimate (file-backed, reclaimable, shared across
+	// processes mapping the same trace).
+	fmt.Printf("  v3 mapped est %.2f MB file-backed (%.0f%% of columnar heap)\n",
+		float64(trace.V3Size(cols))/1e6, 100*float64(trace.V3Size(cols))/float64(max(colBytes, 1)))
 
 	counts := map[trace.Op]int{}
 	var bytes int64

@@ -42,12 +42,31 @@
 // campaign); threshold 1 escalates nothing (bit-identical to
 // -schemes mfact). Checkpoints journal every triage decision and
 // refuse to resume under a different policy.
+//
+// Multi-process sharding (see internal/core's shard machinery): split
+// the manifest into N contiguous ranges, run each range in its own
+// worker process with its own checkpoint journal shard, then merge the
+// shard journals into one ordinary checkpoint and render:
+//
+//	tradeoff -shards 4 -checkpoint run.jsonl
+//
+// Shards share nothing at runtime, so a crashed or killed worker loses
+// only its own range; re-running the same command resumes every shard
+// from its journal (completed shards fast-forward). Results are
+// bit-identical to a single-process run of the same manifest. -shards
+// requires -checkpoint and does not compose with -triage (the
+// classifier trains on a global calibration split, which a shard
+// cannot see). -shard-worker is internal: the parent re-execs itself
+// with it to run one shard's range.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
@@ -114,6 +133,92 @@ func resumeInvocation(hadResume bool) string {
 	return strings.Join(args, " ")
 }
 
+// prefixWriter tags each output line of a shard worker with its shard
+// label, so the interleaved output of N concurrent children stays
+// attributable.
+type prefixWriter struct {
+	w      io.Writer
+	prefix []byte
+	buf    bytes.Buffer
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.buf.Write(b)
+	for {
+		line, err := p.buf.ReadBytes('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next Write.
+			p.buf.Write(line)
+			break
+		}
+		p.w.Write(p.prefix)
+		p.w.Write(line)
+	}
+	return len(b), nil
+}
+
+// runShardParent forks one worker process per shard (this binary with
+// -shard-worker=i appended), waits for all of them, and merges their
+// journal shards into the single checkpoint at ckptPath. Signals are
+// forwarded so Ctrl-C interrupts every shard cleanly (each flushes its
+// own journal and exits; re-running the same command resumes). Workers
+// inherit the full original command line, so per-shard resume sees
+// identical manifest flags.
+func runShardParent(shards int, ckptPath string, hadResume bool) error {
+	fmt.Printf("sharding the campaign across %d worker processes...\n", shards)
+	cmds := make([]*exec.Cmd, shards)
+	for i := range cmds {
+		args := append(append([]string(nil), os.Args[1:]...), fmt.Sprintf("-shard-worker=%d", i))
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stdout = &prefixWriter{w: os.Stdout, prefix: []byte(fmt.Sprintf("[shard %d] ", i))}
+		cmd.Stderr = &prefixWriter{w: os.Stderr, prefix: []byte(fmt.Sprintf("[shard %d] ", i))}
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("starting shard %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for s := range sigs {
+			for _, c := range cmds {
+				if c.Process != nil {
+					c.Process.Signal(s)
+				}
+			}
+		}
+	}()
+
+	failed := 0
+	for i, c := range cmds {
+		if err := c.Wait(); err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "tradeoff: shard %d: %v\n", i, err)
+		}
+	}
+	signal.Stop(sigs)
+	close(sigs)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d shards did not complete; their progress is journaled — resume with:\n  %s",
+			failed, shards, resumeInvocation(hadResume))
+	}
+
+	stats, err := core.MergeShardJournals(ckptPath, shards)
+	if err != nil {
+		return err
+	}
+	if err := core.RemoveShardJournals(ckptPath, shards); err != nil {
+		return fmt.Errorf("cleaning up shard journals: %w", err)
+	}
+	fmt.Printf("merged %d results from %d shard journals into %s\n", stats.Results, shards, ckptPath)
+	return nil
+}
+
 func main() {
 	stride := flag.Int("stride", 1, "keep every Nth manifest entry")
 	maxRanks := flag.Int("maxranks", 0, "skip traces larger than this (0 = no cap)")
@@ -138,10 +243,36 @@ func main() {
 	triageThreshold := flag.Float64("triage-threshold", 0.5, "escalate when the classifier's P(DIFF > 2%) is at or above this (0 = escalate all, 1 = escalate none)")
 	triageBudget := flag.String("triage-budget", "", "escalation budget: a count, a duration, or both comma-separated (e.g. 12,30s)")
 	triageSeed := flag.Int64("triage-seed", 1, "seed for the triage classifier's cross-validated training")
+	shards := flag.Int("shards", 0, "split the campaign across N worker processes with per-shard checkpoint journals (requires -checkpoint)")
+	shardWorker := flag.Int("shard-worker", -1, "internal: run as shard worker I of -shards (set by the parent process)")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "tradeoff: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *shards > 1 {
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "tradeoff: -shards requires -checkpoint (each shard journals to <checkpoint>.shardI-of-N)")
+			os.Exit(2)
+		}
+		if *triageOn {
+			fmt.Fprintln(os.Stderr, "tradeoff: -shards does not compose with -triage (the classifier trains on a global calibration split)")
+			os.Exit(2)
+		}
+		if *load != "" {
+			fmt.Fprintln(os.Stderr, "tradeoff: -shards is meaningless with -load")
+			os.Exit(2)
+		}
+	} else if *shards < 0 || *shards == 1 {
+		fmt.Fprintln(os.Stderr, "tradeoff: -shards must be 2 or more")
+		os.Exit(2)
+	} else if *shardWorker >= 0 {
+		fmt.Fprintln(os.Stderr, "tradeoff: -shard-worker is internal and requires -shards")
+		os.Exit(2)
+	}
+	if *shards > 1 && *shardWorker >= *shards {
+		fmt.Fprintf(os.Stderr, "tradeoff: -shard-worker %d out of range for %d shards\n", *shardWorker, *shards)
 		os.Exit(2)
 	}
 	var triagePolicy *triage.Policy
@@ -161,6 +292,25 @@ func main() {
 	}
 	defer finishProfiles()
 
+	if *shards > 1 && *shardWorker < 0 {
+		// Sharded parent: fork the workers, wait, merge their journals
+		// into -checkpoint, then fall through to the ordinary campaign
+		// path with -resume — it loads every merged result (re-running
+		// only traces a failed shard left behind) and renders as usual.
+		if err := runShardParent(*shards, *checkpoint, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			exit(1)
+		}
+		*resume = true
+	}
+
+	// A shard worker journals to its private shard journal, not the
+	// merged campaign checkpoint.
+	ckptPath := *checkpoint
+	if *shardWorker >= 0 {
+		ckptPath = core.ShardJournalPath(*checkpoint, *shardWorker, *shards)
+	}
+
 	var rs []*core.TraceResult
 	var err error
 	if *load != "" {
@@ -171,7 +321,13 @@ func main() {
 		}
 	} else {
 		suite := workload.SuiteSmall(*stride, *maxRanks)
-		fmt.Printf("running %d traces with %d workers...\n", len(suite), *workers)
+		if *shardWorker >= 0 {
+			lo, hi := core.ShardRange(len(suite), *shardWorker, *shards)
+			suite = suite[lo:hi]
+			fmt.Printf("running manifest range [%d,%d) (%d traces) with %d workers...\n", lo, hi, len(suite), *workers)
+		} else {
+			fmt.Printf("running %d traces with %d workers...\n", len(suite), *workers)
+		}
 		progress := func(done, total int, r *core.TraceResult) {
 			if *quiet || r == nil {
 				return
@@ -202,7 +358,7 @@ func main() {
 			Policy:         core.FailurePolicy{KeepGoing: *keepGoing, MaxRetries: *retries},
 			Run:            core.RunOptions{Timeout: *timeout, MaxEvents: *maxEvents},
 			Schemes:        scheme.ParseList(*schemes),
-			CheckpointPath: *checkpoint,
+			CheckpointPath: ckptPath,
 			Resume:         *resume,
 			Progress:       progress,
 			Cancel:         cancel,
@@ -242,6 +398,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tradeoff:", err)
 			exit(1)
+		}
+		if *shardWorker >= 0 {
+			// A shard worker's job ends with its journal complete —
+			// possibly with zero records when the manifest slice is
+			// smaller than the shard count. Rendering (and the
+			// no-survivor guard below) is the parent's business after
+			// the merge.
+			exit(0)
 		}
 		if rep.Succeeded+rep.Skipped == 0 {
 			fmt.Fprintln(os.Stderr, "tradeoff: no trace survived; nothing to render")

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hpctradeoff/internal/workload"
+)
+
+// Multi-process campaign sharding. A sharded campaign splits the
+// manifest into contiguous ranges, runs each range in its own worker
+// process (cmd/tradeoff re-execs itself with -shard-worker), and gives
+// each worker its own checkpoint journal shard. The shards share
+// nothing at runtime — no locks, no common file — so a crash takes down
+// one range, not the campaign; each shard resumes independently from
+// its own journal. When every shard completes, MergeShardJournals
+// combines the shard journals into one ordinary checkpoint journal at
+// the base path, which the existing -resume machinery then loads like
+// any single-process checkpoint. Trace execution is deterministic given
+// Params, so the merged results are bit-identical to a single-process
+// run of the same manifest (TestShardedCampaignBitIdentical holds this
+// contract across every app in the suite).
+
+// ShardRange returns the half-open manifest index range [lo, hi) owned
+// by shard (0-based) of shards total, splitting n entries contiguously
+// and as evenly as possible: the first n%shards shards get one extra
+// entry. Contiguity keeps each worker's schedule a prefix-ordered slice
+// of the manifest, so progress and resume behave like a small campaign.
+func ShardRange(n, shard, shards int) (lo, hi int) {
+	if shards <= 0 || shard < 0 || shard >= shards {
+		return 0, 0
+	}
+	base, extra := n/shards, n%shards
+	lo = shard*base + min(shard, extra)
+	hi = lo + base
+	if shard < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+// ShardParams slices the manifest to shard's ShardRange.
+func ShardParams(ps []workload.Params, shard, shards int) []workload.Params {
+	lo, hi := ShardRange(len(ps), shard, shards)
+	return ps[lo:hi]
+}
+
+// ShardJournalPath derives shard's private journal path from the
+// campaign's base checkpoint path.
+func ShardJournalPath(base string, shard, shards int) string {
+	return fmt.Sprintf("%s.shard%d-of-%d", base, shard, shards)
+}
+
+// MergeStats reports what MergeShardJournals combined.
+type MergeStats struct {
+	// Results is the number of completed-trace records in the merged
+	// journal.
+	Results int
+	// PerShard is how many results each shard journal contributed.
+	PerShard []int
+}
+
+// MergeShardJournals combines the shards' journals into one ordinary
+// checkpoint journal at base, written atomically (temp file + rename),
+// so the campaign can be finished or re-rendered with a plain
+// -checkpoint base -resume run.
+//
+// Every shard journal must exist (a missing one means that worker never
+// started — merging would silently drop its range) and carry a header
+// naming the same scheme set. A key appearing in two shards is an
+// error: ranges are disjoint by construction, so a duplicate means the
+// shard journals do not belong to the same campaign. Records are
+// written sorted by key, making the merged journal's bytes independent
+// of shard count and completion order.
+func MergeShardJournals(base string, shards int) (*MergeStats, error) {
+	if shards < 2 {
+		return nil, fmt.Errorf("core: merging needs at least 2 shards, got %d", shards)
+	}
+	merged := map[string]*TraceResult{}
+	owner := map[string]int{}
+	var schemes []string
+	stats := &MergeStats{PerShard: make([]int, shards)}
+	for s := 0; s < shards; s++ {
+		path := ShardJournalPath(base, s, shards)
+		if _, err := os.Stat(path); err != nil {
+			return nil, fmt.Errorf("core: shard journal %s missing (did shard %d/%d run?): %w", path, s, shards, err)
+		}
+		st, err := loadCheckpointState(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading shard journal %s: %w", path, err)
+		}
+		if st.schemes == nil {
+			return nil, fmt.Errorf("core: shard journal %s has no header; shard %d never opened its checkpoint", path, s)
+		}
+		if st.triage != nil {
+			return nil, fmt.Errorf("core: shard journal %s was written by a tiered campaign; sharding and triage do not compose", path)
+		}
+		if schemes == nil {
+			schemes = st.schemes
+		} else if !sameSchemeSet(schemes, st.schemes) {
+			return nil, fmt.Errorf("core: shard journals disagree on schemes: shard 0 has [%s], shard %d has [%s]",
+				strings.Join(schemes, ","), s, strings.Join(st.schemes, ","))
+		}
+		for key, r := range st.results {
+			if prev, dup := owner[key]; dup {
+				return nil, fmt.Errorf("core: key %s appears in shard %d and shard %d journals; these shards are not from one campaign", key, prev, s)
+			}
+			owner[key] = s
+			merged[key] = r
+			stats.PerShard[s]++
+		}
+	}
+	stats.Results = len(merged)
+
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tmp, err := os.CreateTemp(filepath.Dir(base), filepath.Base(base)+".merge-*")
+	if err != nil {
+		return nil, fmt.Errorf("core: merging shard journals: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(checkpointEntry{
+		Version: checkpointVersion,
+		Header:  true,
+		Schemes: sortedSchemes(schemes),
+	}); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("core: merging shard journals: %w", err)
+	}
+	for _, k := range keys {
+		if err := enc.Encode(checkpointEntry{Version: checkpointVersion, Key: k, Result: merged[k]}); err != nil {
+			tmp.Close()
+			return nil, fmt.Errorf("core: merging shard journals: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("core: merging shard journals: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("core: merging shard journals: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), base); err != nil {
+		return nil, fmt.Errorf("core: merging shard journals: %w", err)
+	}
+	if err := syncDir(filepath.Dir(base)); err != nil {
+		return nil, fmt.Errorf("core: merging shard journals: %w", err)
+	}
+	return stats, nil
+}
+
+// RemoveShardJournals deletes the per-shard journals after a successful
+// merge. Missing files are ignored (a re-merge already cleaned up).
+func RemoveShardJournals(base string, shards int) error {
+	for s := 0; s < shards; s++ {
+		if err := os.Remove(ShardJournalPath(base, s, shards)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}

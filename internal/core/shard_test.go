@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hpctradeoff/internal/workload"
+)
+
+func TestShardRange(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {1, 1}, {5, 1}, {5, 2}, {18, 4}, {18, 8}, {7, 8}, {235, 6},
+	} {
+		covered := 0
+		prevHi := 0
+		for s := 0; s < tc.shards; s++ {
+			lo, hi := ShardRange(tc.n, s, tc.shards)
+			if lo != prevHi {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, previous ended at %d", tc.n, tc.shards, s, lo, prevHi)
+			}
+			if hi < lo || hi > tc.n {
+				t.Fatalf("n=%d shards=%d: shard %d range [%d,%d) out of bounds", tc.n, tc.shards, s, lo, hi)
+			}
+			if span := hi - lo; span < tc.n/tc.shards || span > tc.n/tc.shards+1 {
+				t.Fatalf("n=%d shards=%d: shard %d span %d is unbalanced", tc.n, tc.shards, s, span)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n || prevHi != tc.n {
+			t.Fatalf("n=%d shards=%d: ranges cover %d entries ending at %d", tc.n, tc.shards, covered, prevHi)
+		}
+	}
+	if lo, hi := ShardRange(10, 2, 3); hi != 10 {
+		t.Fatalf("last shard ends at %d (lo %d), want 10", hi, lo)
+	}
+	if lo, hi := ShardRange(10, 5, 3); lo != 0 || hi != 0 {
+		t.Fatalf("out-of-range shard = [%d,%d), want empty", lo, hi)
+	}
+}
+
+// shardSuite is the differential test's manifest: one small trace per
+// application in the suite, so the identity contract covers every
+// generator and every scheme capability combination.
+func shardSuite() []workload.Params {
+	apps := workload.Apps()
+	ps := make([]workload.Params, len(apps))
+	for i, app := range apps {
+		ps[i] = workload.Params{App: app, Class: "S", Ranks: 8, Machine: "edison", Seed: int64(300 + i)}
+	}
+	return ps
+}
+
+// runShardSlice runs one shard's manifest range as a shard-worker
+// process would: an ordinary campaign over the slice, journaling to the
+// shard's private journal.
+func runShardSlice(t *testing.T, ps []workload.Params, base string, shard, shards int, resume bool) *CampaignReport {
+	t.Helper()
+	lo, hi := ShardRange(len(ps), shard, shards)
+	_, rep, err := RunCampaign(ps[lo:hi], CampaignConfig{
+		Workers:        2,
+		CheckpointPath: ShardJournalPath(base, shard, shards),
+		Resume:         resume,
+	})
+	if err != nil {
+		t.Fatalf("shard %d/%d: %v", shard, shards, err)
+	}
+	return rep
+}
+
+// normalizeResults strips the wall-clock noise (Outcome.Wall) from a
+// checkpoint's result map so maps from different runs can be compared
+// bit-for-bit.
+func normalizeResults(rs map[string]*TraceResult) {
+	for _, r := range rs {
+		for name, o := range r.Schemes {
+			o.Wall = 0
+			r.Schemes[name] = o
+		}
+	}
+}
+
+func requireSameResultMaps(t *testing.T, label string, want, got map[string]*TraceResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Fatalf("%s: key %s missing", label, key)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s: result for %s differs:\ngot  %+v\nwant %+v", label, key, g, w)
+		}
+	}
+}
+
+// TestShardedCampaignBitIdentical is the sharding identity contract:
+// splitting the suite across 2, 4, or 8 shard journals and merging them
+// must reproduce the single-process campaign's checkpoint bit-for-bit
+// (modulo wall clock), for every application in the suite — including
+// when one shard is killed partway and resumed before the merge.
+func TestShardedCampaignBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite several times")
+	}
+	ps := shardSuite()
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "single.jsonl")
+	if _, _, err := RunCampaign(ps, CampaignConfig{Workers: 2, CheckpointPath: single}); err != nil {
+		t.Fatalf("single-process campaign: %v", err)
+	}
+	want, err := LoadCheckpoint(single)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint(single): %v", err)
+	}
+	if len(want) != len(ps) {
+		t.Fatalf("single-process journal holds %d results, want %d", len(want), len(ps))
+	}
+	normalizeResults(want)
+
+	for _, shards := range []int{2, 4, 8} {
+		base := filepath.Join(dir, fmt.Sprintf("sharded-%d.jsonl", shards))
+		for s := 0; s < shards; s++ {
+			runShardSlice(t, ps, base, s, shards, false)
+		}
+		stats, err := MergeShardJournals(base, shards)
+		if err != nil {
+			t.Fatalf("%d shards: merge: %v", shards, err)
+		}
+		if stats.Results != len(ps) {
+			t.Fatalf("%d shards: merged %d results, want %d", shards, stats.Results, len(ps))
+		}
+		got, err := LoadCheckpoint(base)
+		if err != nil {
+			t.Fatalf("%d shards: LoadCheckpoint(merged): %v", shards, err)
+		}
+		normalizeResults(got)
+		requireSameResultMaps(t, fmt.Sprintf("%d shards", shards), want, got)
+
+		// The merged journal is an ordinary checkpoint: resuming the full
+		// campaign from it finds every trace done.
+		_, rep, err := RunCampaign(ps, CampaignConfig{
+			Workers: 2, CheckpointPath: base, Resume: true,
+		})
+		if err != nil {
+			t.Fatalf("%d shards: resume from merged journal: %v", shards, err)
+		}
+		if rep.Skipped != len(ps) {
+			t.Fatalf("%d shards: resume skipped %d traces, want %d", shards, rep.Skipped, len(ps))
+		}
+		if err := RemoveShardJournals(base, shards); err != nil {
+			t.Fatalf("%d shards: cleanup: %v", shards, err)
+		}
+	}
+
+	// Kill-one-shard: shard 1 of 4 dies after completing only the first
+	// two traces of its range (simulated by running just that prefix to
+	// its journal), is resumed, and the campaign merges as if nothing
+	// happened.
+	const shards = 4
+	base := filepath.Join(dir, "killed.jsonl")
+	for _, s := range []int{0, 2, 3} {
+		runShardSlice(t, ps, base, s, shards, false)
+	}
+	lo, hi := ShardRange(len(ps), 1, shards)
+	if hi-lo < 3 {
+		t.Fatalf("shard 1 range [%d,%d) too small for a meaningful kill", lo, hi)
+	}
+	const prefix = 2
+	if _, _, err := RunCampaign(ps[lo:lo+prefix], CampaignConfig{
+		Workers: 1, CheckpointPath: ShardJournalPath(base, 1, shards),
+	}); err != nil {
+		t.Fatalf("killed shard prefix: %v", err)
+	}
+	rep := runShardSlice(t, ps, base, 1, shards, true)
+	if rep.Skipped != prefix {
+		t.Fatalf("resumed shard skipped %d traces, want %d", rep.Skipped, prefix)
+	}
+	if rep.Succeeded != (hi-lo)-prefix {
+		t.Fatalf("resumed shard ran %d traces, want %d", rep.Succeeded, (hi-lo)-prefix)
+	}
+	stats, err := MergeShardJournals(base, shards)
+	if err != nil {
+		t.Fatalf("merge after resume: %v", err)
+	}
+	if stats.Results != len(ps) {
+		t.Fatalf("merge after resume: %d results, want %d", stats.Results, len(ps))
+	}
+	got, err := LoadCheckpoint(base)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint after resume: %v", err)
+	}
+	normalizeResults(got)
+	requireSameResultMaps(t, "kill-one-shard", want, got)
+}
+
+// TestShardedCampaignMoreShardsThanTraces pins the degenerate split: a
+// manifest smaller than the shard count leaves trailing shards with
+// empty ranges. Those shards must still produce valid (header-only)
+// journals and the merge must reproduce the full result set.
+func TestShardedCampaignMoreShardsThanTraces(t *testing.T) {
+	ps := shardSuite()[:3]
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "single.jsonl")
+	if _, _, err := RunCampaign(ps, CampaignConfig{Workers: 1, CheckpointPath: single}); err != nil {
+		t.Fatalf("single-process campaign: %v", err)
+	}
+	want, err := LoadCheckpoint(single)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint(single): %v", err)
+	}
+	normalizeResults(want)
+
+	const shards = 5
+	base := filepath.Join(dir, "sharded.jsonl")
+	for s := 0; s < shards; s++ {
+		rep := runShardSlice(t, ps, base, s, shards, false)
+		lo, hi := ShardRange(len(ps), s, shards)
+		if rep.Succeeded != hi-lo {
+			t.Fatalf("shard %d succeeded %d traces, want %d", s, rep.Succeeded, hi-lo)
+		}
+	}
+	stats, err := MergeShardJournals(base, shards)
+	if err != nil {
+		t.Fatalf("merge with empty shards: %v", err)
+	}
+	if stats.Results != len(ps) {
+		t.Fatalf("merged %d results, want %d", stats.Results, len(ps))
+	}
+	got, err := LoadCheckpoint(base)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint(merged): %v", err)
+	}
+	normalizeResults(got)
+	requireSameResultMaps(t, "more shards than traces", want, got)
+}
+
+func TestMergeShardJournalsValidation(t *testing.T) {
+	ps := shardSuite()[:4]
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ck.jsonl")
+
+	// Missing shard journal.
+	runShardSlice(t, ps, base, 0, 2, false)
+	if _, err := MergeShardJournals(base, 2); err == nil {
+		t.Fatal("merge accepted a missing shard journal")
+	}
+
+	// Scheme-set mismatch across shards.
+	lo, hi := ShardRange(len(ps), 1, 2)
+	if _, _, err := RunCampaign(ps[lo:hi], CampaignConfig{
+		Workers:        1,
+		Schemes:        []string{"mfact"},
+		CheckpointPath: ShardJournalPath(base, 1, 2),
+	}); err != nil {
+		t.Fatalf("mfact-only shard: %v", err)
+	}
+	if _, err := MergeShardJournals(base, 2); err == nil {
+		t.Fatal("merge accepted shard journals with different scheme sets")
+	}
+
+	// Duplicate key across shards: run the SAME slice into both shard
+	// journals.
+	base2 := filepath.Join(dir, "dup.jsonl")
+	for s := 0; s < 2; s++ {
+		if _, _, err := RunCampaign(ps[:2], CampaignConfig{
+			Workers:        1,
+			CheckpointPath: ShardJournalPath(base2, s, 2),
+		}); err != nil {
+			t.Fatalf("duplicate shard %d: %v", s, err)
+		}
+	}
+	if _, err := MergeShardJournals(base2, 2); err == nil {
+		t.Fatal("merge accepted overlapping shard journals")
+	}
+
+	if _, err := MergeShardJournals(base, 1); err == nil {
+		t.Fatal("merge accepted shards < 2")
+	}
+}

@@ -241,6 +241,26 @@ func (p *Parallel) NullMessages() uint64 {
 	return n
 }
 
+// LPStats is one logical process's execution counters — the raw data
+// for CMB scaling studies (events per LP show partition balance, nulls
+// per LP show where synchronization cost concentrates).
+type LPStats struct {
+	// Steps is the number of real events this LP executed.
+	Steps uint64
+	// Nulls is the number of null messages this LP broadcast.
+	Nulls uint64
+}
+
+// PerLP returns each logical process's counters, indexed by LP (valid
+// after Run returns).
+func (p *Parallel) PerLP() []LPStats {
+	out := make([]LPStats, len(p.lps))
+	for i, l := range p.lps {
+		out[i] = LPStats{Steps: l.steps, Nulls: l.nulls}
+	}
+	return out
+}
+
 // pmsg is a cross-LP message: a real event (to ≥ 0), a null/done
 // guarantee (to == nullMsg), or a quiescence wakeup (to == wakeupMsg).
 // 'at' is the event time or the sender's guarantee that it will send

@@ -162,6 +162,9 @@ func (pp *ParallelPacket) Steps() uint64 { return pp.par.Steps() }
 // NullMessages exposes the engine's synchronization-message count.
 func (pp *ParallelPacket) NullMessages() uint64 { return pp.par.NullMessages() }
 
+// PerLP exposes the engine's per-logical-process counters.
+func (pp *ParallelPacket) PerLP() []des.LPStats { return pp.par.PerLP() }
+
 // Handle implements des.Actor: process a packet's arrival at one link.
 func (a *routerActor) Handle(now simtime.Time, msg any, s des.Scheduler) {
 	hop := msg.(*pktHop)

@@ -28,8 +28,14 @@ import (
 // switch-and-build loop, and a reader can skip a block it does not
 // need by its length prefix.
 //
-// Both versions share the header (meta + communicator table); Read and
-// ReadColumns each accept either version, converting as needed.
+// Version 3 (zero-copy, codec_v3.go): the on-disk layout is the
+// in-memory Columns layout itself — fixed 64-byte header, per-rank
+// column extents, raw little-endian field arrays and arenas — so a v3
+// file maps in with mmap (OpenMapped) and zero decode.
+//
+// All versions share the magic and the meta + communicator table
+// encoding; Read and ReadColumns each accept any version, converting
+// as needed.
 //
 // Times are delta-coded per rank (Entry relative to previous Exit,
 // Exit relative to Entry) so long traces stay small.
@@ -221,8 +227,10 @@ func WriteColumns(w io.Writer, c *Columns) error {
 	return e.bw.Flush()
 }
 
-// readHeader consumes magic, version, meta, and the communicator
-// table; both Read and ReadColumns start here.
+// readHeader consumes magic, version, and — for the varint-framed
+// versions 1 and 2 — the meta and communicator table; both Read and
+// ReadColumns start here. A version-3 stream returns with zero
+// meta/table: its header is fixed binary, parsed whole by readV3Stream.
 func readHeader(r io.Reader) (*decoder, int, Meta, CommTable, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(binaryMagic))
@@ -236,10 +244,25 @@ func readHeader(r io.Reader) (*decoder, int, Meta, CommTable, error) {
 	}
 	d := &decoder{br: br}
 	version := int(d.uvarint())
-	if d.err != nil || (version != binaryVersion && version != binaryVersionColumnar) {
+	if d.err != nil || (version != binaryVersion && version != binaryVersionColumnar && version != binaryVersionV3) {
 		return nil, 0, meta, ct, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
 	}
+	if version == binaryVersionV3 {
+		return d, version, meta, ct, nil
+	}
+	meta, ct, err := parseMetaComms(d)
+	if err != nil {
+		return nil, version, meta, ct, err
+	}
+	return d, version, meta, ct, nil
+}
 
+// parseMetaComms decodes the varint-framed meta and communicator table
+// written by writeMetaComms (versions 1 and 2 inline it after the
+// version byte; version 3 carries it as a length-delimited blob).
+func parseMetaComms(d *decoder) (Meta, CommTable, error) {
+	var meta Meta
+	var ct CommTable
 	meta.App = d.str()
 	meta.Class = d.str()
 	meta.Machine = d.str()
@@ -250,21 +273,21 @@ func readHeader(r io.Reader) (*decoder, int, Meta, CommTable, error) {
 	meta.UsesCommSplit = flags&1 != 0
 	meta.UsesThreadMultiple = flags&2 != 0
 	if d.err != nil {
-		return nil, 0, meta, ct, d.fail("meta")
+		return meta, ct, d.fail("meta")
 	}
 	if meta.NumRanks < 0 || meta.NumRanks > maxRanks {
-		return nil, 0, meta, ct, fmt.Errorf("%w: implausible rank count %d", ErrBadFormat, meta.NumRanks)
+		return meta, ct, fmt.Errorf("%w: implausible rank count %d", ErrBadFormat, meta.NumRanks)
 	}
 
 	ct = NewCommTable(meta.NumRanks)
 	nComms := int(d.uvarint())
 	if d.err != nil || nComms < 1 || nComms > maxRanks {
-		return nil, 0, meta, ct, d.fail("comm table")
+		return meta, ct, d.fail("comm table")
 	}
 	for c := 0; c < nComms; c++ {
 		n := int(d.uvarint())
 		if d.err != nil || n < 0 || n > meta.NumRanks {
-			return nil, 0, meta, ct, d.fail("comm members")
+			return meta, ct, d.fail("comm members")
 		}
 		members := make([]int32, n)
 		prev := int32(0)
@@ -277,17 +300,25 @@ func readHeader(r io.Reader) (*decoder, int, Meta, CommTable, error) {
 		}
 	}
 	if d.err != nil {
-		return nil, 0, meta, ct, d.fail("comm table")
+		return meta, ct, d.fail("comm table")
 	}
-	return d, version, meta, ct, nil
+	return meta, ct, nil
 }
 
-// Read decodes a binary trace written by Write or WriteColumns into
-// array-of-structs form (columnar input is materialized).
+// Read decodes a binary trace written by Write, WriteColumns, or
+// WriteColumnsV3 into array-of-structs form (columnar input is
+// materialized).
 func Read(r io.Reader) (*Trace, error) {
 	d, version, meta, ct, err := readHeader(r)
 	if err != nil {
 		return nil, err
+	}
+	if version == binaryVersionV3 {
+		c, err := readV3Stream(d)
+		if err != nil {
+			return nil, err
+		}
+		return c.Materialize(), nil
 	}
 	if version == binaryVersionColumnar {
 		c := &Columns{Meta: meta, Comms: ct, ranks: make([]rankCols, meta.NumRanks)}
@@ -303,12 +334,16 @@ func Read(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-// ReadColumns decodes a binary trace written by Write or WriteColumns
-// into columnar form (version-1 input is columnarized).
+// ReadColumns decodes a binary trace written by Write, WriteColumns,
+// or WriteColumnsV3 into columnar form (version-1 input is
+// columnarized; version-3 input parses with zero per-event decoding).
 func ReadColumns(r io.Reader) (*Columns, error) {
 	d, version, meta, ct, err := readHeader(r)
 	if err != nil {
 		return nil, err
+	}
+	if version == binaryVersionV3 {
+		return readV3Stream(d)
 	}
 	if version == binaryVersion {
 		t := &Trace{Meta: meta, Comms: ct, Ranks: make([][]Event, meta.NumRanks)}

@@ -49,10 +49,12 @@ func FuzzRead(f *testing.F) {
 }
 
 // codecSeeds builds the FuzzTraceCodec seed set deterministically:
-// valid version-1 and version-2 encodings of a program exercising
-// every op family, an empty trace, and three precise corruptions — a
-// truncated column block, a lying block length prefix, and a header
-// that promises more ranks than the stream holds. The same bytes are
+// valid version-1, -2, and -3 encodings of a program exercising every
+// op family, an empty trace, and precise corruptions per format — a
+// truncated column block, a lying block length prefix, a header that
+// promises more ranks than the stream holds, and for v3 a truncated
+// fixed header, a misaligned extent, an extent escaping the file, and
+// an extent whose byte length wraps uint64. The same bytes are
 // committed under testdata/fuzz/FuzzTraceCodec (TestWriteFuzzCorpus
 // regenerates them) so they run under plain `go test`.
 func codecSeeds() map[string][]byte {
@@ -119,6 +121,37 @@ func codecSeeds() map[string][]byte {
 		panic(err)
 	}
 	seeds["rank-count-mismatch"] = vm.Bytes()
+
+	// Version-3 seeds: a valid zero-copy image plus the three corruption
+	// families its parser must reject before forming any slice — a
+	// header cut short, an extent knocked off 8-byte alignment, and an
+	// extent whose count × element size escapes the file (both the
+	// straightforward past-EOF case and a uint64 wraparound).
+	var v3 bytes.Buffer
+	if err := WriteColumnsV3(&v3, c); err != nil {
+		panic(err)
+	}
+	good := v3.Bytes()
+	seeds["valid-v3"] = good
+	seeds["v3-truncated-header"] = append([]byte{}, good[:v3HeaderSize-17]...)
+	extOff := binary.LittleEndian.Uint64(good[32:40])
+	mut := func(edit func(b []byte)) []byte {
+		b := append([]byte{}, good...)
+		edit(b)
+		return b
+	}
+	seeds["v3-misaligned-extent"] = mut(func(b []byte) {
+		off := binary.LittleEndian.Uint64(b[extOff+24:])
+		binary.LittleEndian.PutUint64(b[extOff+24:], off+4)
+	})
+	seeds["v3-extent-overflow"] = mut(func(b []byte) {
+		binary.LittleEndian.PutUint64(b[extOff+24+8:], uint64(len(b))-4)
+	})
+	seeds["v3-extent-count-wrap"] = mut(func(b []byte) {
+		// reqArena length of 2^62 makes count × 4 wrap around uint64;
+		// only the explicit division check catches it.
+		binary.LittleEndian.PutUint64(b[extOff+8:], 1<<62)
+	})
 	return seeds
 }
 
@@ -174,6 +207,27 @@ func FuzzTraceCodec(f *testing.F) {
 			t.Fatal("v2 roundtrip changed meta or comms")
 		}
 		requireSameEvents(t, tr, c2)
+
+		// The zero-copy format must be just as lossless, and its two
+		// decode modes (aliasing and copying) must accept and produce
+		// the same thing.
+		var b3 bytes.Buffer
+		if err := WriteColumnsV3(&b3, c); err != nil {
+			t.Fatalf("re-encode v3: %v", err)
+		}
+		c3, err := ReadColumns(bytes.NewReader(b3.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode v3: %v", err)
+		}
+		if c3.Meta != c.Meta || !commTablesEqual(&c3.Comms, &c.Comms) {
+			t.Fatal("v3 roundtrip changed meta or comms")
+		}
+		requireSameEvents(t, tr, c3)
+		cCopy, err := parseV3(b3.Bytes(), false)
+		if err != nil {
+			t.Fatalf("v3 copy-mode decode rejected what alias mode accepted: %v", err)
+		}
+		requireSameEvents(t, tr, cCopy)
 	})
 }
 

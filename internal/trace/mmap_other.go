@@ -1,0 +1,20 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy open path off on platforms without
+// a usable mmap; OpenMapped reads the file into memory instead (still
+// decode-free for v3 on little-endian hosts, just not shared with the
+// page cache).
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("trace: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

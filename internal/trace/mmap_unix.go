@@ -1,0 +1,26 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map trace
+// files; when false, OpenMapped silently falls back to reading the
+// file into memory.
+const mmapSupported = true
+
+// mmapFile maps f's first size bytes privately (copy-on-write, so
+// SetEventTimes on a mapped trace stays a process-local write that
+// never reaches the file). The file descriptor may be closed after
+// mapping; the mapping persists until munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}
