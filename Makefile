@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds triage-smoke chaos-short chaos cmb-scaling study figures clean
+.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds triage-smoke chaos-short chaos cache-warm cmb-scaling study figures clean
 
 all: check
 
@@ -23,10 +23,11 @@ test:
 
 # test-race covers the packages with real goroutine concurrency: the
 # parallel DES engines, the network models driven by them, the
-# campaign worker pool, and the triage scheduler + classifier the
-# tiered campaign drives from its workers.
+# campaign worker pool, the triage scheduler + classifier the tiered
+# campaign drives from its workers, and the trace cache's singleflight
+# path that those workers contend on.
 test-race:
-	$(GO) test -race ./internal/des/... ./internal/simnet/... ./internal/core/... ./internal/triage/... ./internal/classifier/...
+	$(GO) test -race ./internal/des/... ./internal/simnet/... ./internal/core/... ./internal/triage/... ./internal/classifier/... ./internal/tracecache/...
 
 race: test-race
 	$(GO) test -race ./internal/mfact/
@@ -57,7 +58,7 @@ microbench:
 # (plain `go test` already includes them; this target names them so a
 # corpus regression fails loudly on its own).
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/core/ ./internal/trace/
+	$(GO) test -run 'Fuzz' ./internal/core/ ./internal/trace/ ./internal/tracecache/
 
 # fuzz runs coverage-guided fuzzing on the checkpoint loader.
 FUZZTIME ?= 30s
@@ -86,6 +87,16 @@ chaos-short:
 # chaos is the long soak: more seeds, a larger suite, all four schemes.
 chaos:
 	$(GO) run ./cmd/chaos -seed 1 -runs 200 -traces 12 -schemes mfact,packet,flow,packetflow
+
+# cache-warm pre-populates the trace cache for the small-suite
+# manifest, so a following `cmd/tradeoff -trace-cache $(CACHE_DIR)`
+# campaign runs entirely on verified mmap hits. STRIDE/MAXRANKS take
+# the same meaning as tracegen's flags.
+CACHE_DIR ?= .tracecache
+STRIDE ?= 1
+MAXRANKS ?= 0
+cache-warm:
+	$(GO) run ./cmd/tracegen -warm $(CACHE_DIR) -stride $(STRIDE) -maxranks $(MAXRANKS)
 
 # cmb-scaling regenerates the committed CMB engine scaling study:
 # events/sec vs LP count, lookahead sensitivity, and null-message

@@ -34,6 +34,8 @@ import (
 	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/simtime"
 	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/tracecache"
+	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
 
@@ -55,6 +57,12 @@ type Entry struct {
 	// report it, because residency — not throughput — is what the
 	// Source-native pipeline buys over materializing each trace.
 	PeakHeapBytes float64 `json:"peak_heap_bytes,omitempty"`
+	// CacheHits/CacheMisses are the trace-cache counters of one op;
+	// only the cache scenarios report them. They are the snapshot's
+	// evidence that the warm scenarios really served from the cache
+	// (misses 0) and the cold ones really paid materialization.
+	CacheHits   float64 `json:"cache_hits,omitempty"`
+	CacheMisses float64 `json:"cache_misses,omitempty"`
 }
 
 // Snapshot is the on-disk benchmark record.
@@ -106,6 +114,11 @@ func scenarios() []scenario {
 		{"trace/materialize-vs-stream", benchStream},
 		{"campaign/materialized", benchCampaignMaterialized},
 		{"campaign/source-native", benchCampaignSource},
+		{"tracecache/acquire-cold", benchAcquireCold},
+		{"tracecache/acquire-warm", benchAcquireWarm},
+		{"campaign/cold-cache", benchCampaignColdCache},
+		{"campaign/warm-cache", benchCampaignWarmCache},
+		{"campaign/triage-two-pass", benchCampaignTriageTwoPass},
 	}
 }
 
@@ -508,6 +521,196 @@ func benchCampaignSource(short bool) uint64 {
 	return events
 }
 
+// benchCacheStats is the cache scenarios' side-channel (the peakHeap
+// pattern): each body stores its cache's counters here and measure()
+// copies the final op's hits/misses into the Entry.
+var benchCacheStats tracecache.Stats
+
+// warmCacheDir is the pre-populated trace-cache directory shared by
+// the warm scenarios, filled once by ensureWarmCache so the warm
+// bodies never pay materialization.
+var warmCacheDir string
+
+func ensureWarmCache(short bool) {
+	if warmCacheDir != "" {
+		return
+	}
+	dir, err := os.MkdirTemp("", "bench-tracecache-*")
+	if err != nil {
+		panic(err)
+	}
+	c, err := tracecache.Open(dir, tracecache.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range campaignSuite(short) {
+		p := p
+		_, release, _, err := c.Acquire(p, func() (*trace.Columns, error) {
+			return workload.MaterializeColumns(p)
+		})
+		if err != nil {
+			panic(err)
+		}
+		release()
+	}
+	warmCacheDir = dir
+}
+
+// benchAcquireCold pays the full miss path for every suite trace:
+// materialize, ground-truth stamp, v3 encode, atomic publish. Its warm
+// twin below reacquires the same entries as verified mmap hits; the
+// ns/op ratio of the pair is the committed evidence for the per-trace
+// acquisition cost the cache removes from a warm campaign.
+func benchAcquireCold(short bool) uint64 {
+	dir, err := os.MkdirTemp("", "bench-tracecache-cold-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	c, err := tracecache.Open(dir, tracecache.Options{})
+	if err != nil {
+		panic(err)
+	}
+	var events uint64
+	for _, p := range campaignSuite(short) {
+		p := p
+		cols, release, hit, err := c.Acquire(p, func() (*trace.Columns, error) {
+			return workload.MaterializeColumns(p)
+		})
+		if err != nil {
+			panic(err)
+		}
+		if hit {
+			panic("cold acquire hit the cache")
+		}
+		events += uint64(cols.NumEvents())
+		release()
+	}
+	benchCacheStats = c.Stats()
+	return events
+}
+
+// benchAcquireWarm reacquires the pre-populated suite entries: sidecar
+// verification, mmap, and a checksum pass — no generation, no
+// stamping, no decode. The panicking materialize callback turns any
+// silent miss into a loud failure.
+func benchAcquireWarm(short bool) uint64 {
+	ensureWarmCache(short)
+	c, err := tracecache.Open(warmCacheDir, tracecache.Options{})
+	if err != nil {
+		panic(err)
+	}
+	var events uint64
+	for _, p := range campaignSuite(short) {
+		cols, release, hit, err := c.Acquire(p, func() (*trace.Columns, error) {
+			panic("warm acquire missed the cache")
+		})
+		if err != nil {
+			panic(err)
+		}
+		if !hit {
+			panic("warm acquire did not hit")
+		}
+		events += uint64(cols.NumEvents())
+		release()
+	}
+	benchCacheStats = c.Stats()
+	return events
+}
+
+// benchCampaignColdCache is the Source-native campaign run through an
+// empty trace cache: every acquisition materializes and publishes, so
+// ns/op = campaign/warm-cache cost plus one-time cache population.
+func benchCampaignColdCache(short bool) uint64 {
+	stop, done := make(chan struct{}), make(chan struct{})
+	go samplePeakHeap(stop, done)
+	defer func() { close(stop); <-done }()
+	dir, err := os.MkdirTemp("", "bench-campaign-cold-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	c, err := tracecache.Open(dir, tracecache.Options{})
+	if err != nil {
+		panic(err)
+	}
+	rs, _, err := core.RunCampaign(campaignSuite(short), core.CampaignConfig{Workers: 2, Cache: c})
+	if err != nil {
+		panic(err)
+	}
+	var events uint64
+	for _, r := range rs {
+		events += uint64(r.Events)
+	}
+	benchCacheStats = c.Stats()
+	return events
+}
+
+// benchCampaignWarmCache replays the same campaign against the
+// pre-populated cache: generation and stamping drop out entirely and
+// the run is replay-bound. The gap to campaign/source-native is the
+// wall-time the cache saves per repeated campaign.
+func benchCampaignWarmCache(short bool) uint64 {
+	stop, done := make(chan struct{}), make(chan struct{})
+	go samplePeakHeap(stop, done)
+	defer func() { close(stop); <-done }()
+	ensureWarmCache(short)
+	c, err := tracecache.Open(warmCacheDir, tracecache.Options{})
+	if err != nil {
+		panic(err)
+	}
+	rs, _, err := core.RunCampaign(campaignSuite(short), core.CampaignConfig{Workers: 2, Cache: c})
+	if err != nil {
+		panic(err)
+	}
+	if st := c.Stats(); st.Misses != 0 {
+		panic(fmt.Sprintf("warm campaign missed the cache %d times", st.Misses))
+	}
+	var events uint64
+	for _, r := range rs {
+		events += uint64(r.Events)
+	}
+	benchCacheStats = c.Stats()
+	return events
+}
+
+// benchCampaignTriageTwoPass is the two-pass schedule the cache was
+// built for: the provisional model pass acquires (and publishes) every
+// trace, then the escalation pass reacquires the escalated ones — warm
+// hits against the entries the first pass just created, instead of a
+// second materialization per escalated trace.
+func benchCampaignTriageTwoPass(short bool) uint64 {
+	stop, done := make(chan struct{}), make(chan struct{})
+	go samplePeakHeap(stop, done)
+	defer func() { close(stop); <-done }()
+	dir, err := os.MkdirTemp("", "bench-campaign-triage-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	c, err := tracecache.Open(dir, tracecache.Options{})
+	if err != nil {
+		panic(err)
+	}
+	rs, rep, err := core.RunCampaign(campaignSuite(short), core.CampaignConfig{
+		Workers: 2,
+		Cache:   c,
+		Triage:  &triage.Policy{Threshold: 0.5, Calibration: 1, Seed: 7},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if rep.Triage == nil || rep.Triage.Escalated == 0 {
+		panic("triage scenario escalated nothing — the two-pass shape is gone")
+	}
+	var events uint64
+	for _, r := range rs {
+		events += uint64(r.Events)
+	}
+	benchCacheStats = c.Stats()
+	return events
+}
+
 // startProfiles turns on the requested pprof outputs and returns the
 // function that finalizes them (stops the CPU profile, snapshots the
 // heap after a final GC).
@@ -544,6 +747,7 @@ func startProfiles(cpu, mem string) (func(), error) {
 func measure(sc scenario, short bool) Entry {
 	var events uint64
 	peakHeap = 0
+	benchCacheStats = tracecache.Stats{}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -557,6 +761,8 @@ func measure(sc scenario, short bool) Entry {
 		BytesPerOp:    float64(r.MemBytes) / float64(r.N),
 		EventsPerOp:   float64(events),
 		PeakHeapBytes: float64(peakHeap),
+		CacheHits:     float64(benchCacheStats.Hits),
+		CacheMisses:   float64(benchCacheStats.Misses),
 	}
 	if events > 0 {
 		e.NsPerEvent = e.NsPerOp / float64(events)

@@ -23,6 +23,11 @@
 // Schedules use only count- and probability-based triggers (never
 // wall-clock stalls) and the campaign runs with one worker, so a seed's
 // behavior is identical across machines and runs.
+//
+// Each seed additionally soaks the tiered scheduler's classifier-down
+// contract (soakTriage) and the trace cache's never-trust-damage
+// contract (soakCache: a real on-disk bit flip plus a tracecache/open
+// failpoint firing must regenerate, never change a result).
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/faultinject"
 	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/tracecache"
 	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
@@ -370,6 +376,106 @@ func soakTriage(seed int64, ps []workload.Params, schemes []string, baseline []*
 	return nil
 }
 
+// soakCache soak-tests the trace cache's never-trust-damage contract:
+// a cold cached campaign must match the uncached baseline bit for bit,
+// then a warm re-run under real damage — one entry's trace file gets a
+// byte flipped on disk, and the tracecache/open failpoint fires once —
+// must detect every damaged open, evict, regenerate, and still match
+// the baseline. A final run proves the repaired cache serves fully
+// warm. A cache fault may cost regeneration; it may never change a
+// result or fail a trace.
+func soakCache(seed int64, ps []workload.Params, schemes []string, baseline []*core.TraceResult, dir string) error {
+	rng := rand.New(rand.NewSource(seed ^ 0x7ca))
+	cache, err := tracecache.Open(filepath.Join(dir, fmt.Sprintf("cache-seed%d", seed)), tracecache.Options{
+		Warnf: func(format string, args ...any) { vlogf("  cache: "+format, args...) },
+	})
+	if err != nil {
+		return fmt.Errorf("cache open: %w", err)
+	}
+	run := func() ([]*core.TraceResult, error) {
+		rs, _, err := core.RunCampaign(ps, core.CampaignConfig{Workers: 1, Schemes: schemes, Cache: cache})
+		return rs, err
+	}
+	match := func(rs []*core.TraceResult, pass string) error {
+		for i, p := range ps {
+			if normalize(rs[i]) != normalize(baseline[i]) {
+				return fmt.Errorf("%s cached result for %s differs from uncached baseline:\n  cached:   %s\n  uncached: %s",
+					pass, core.CampaignKey(p), normalize(rs[i]), normalize(baseline[i]))
+			}
+		}
+		return nil
+	}
+
+	cold, err := run()
+	if err != nil {
+		return fmt.Errorf("cold cached campaign failed: %w", err)
+	}
+	if err := match(cold, "cold"); err != nil {
+		return err
+	}
+	st := cache.Stats()
+	if st.Misses != int64(len(ps)) || st.Hits != 0 {
+		return fmt.Errorf("cold run: %d misses / %d hits, want %d / 0", st.Misses, st.Hits, len(ps))
+	}
+
+	// Real damage: flip one byte of a random entry's trace file.
+	entries, err := cache.List()
+	if err != nil || len(entries) == 0 {
+		return fmt.Errorf("cache listing after cold run: %d entries, err %v", len(entries), err)
+	}
+	victim, _ := cache.EntryPaths(entries[rng.Intn(len(entries))].Hash)
+	img, err := os.ReadFile(victim)
+	if err != nil {
+		return fmt.Errorf("reading victim entry: %w", err)
+	}
+	img[rng.Intn(len(img))] ^= 1 << uint(rng.Intn(8))
+	if err := os.WriteFile(victim, img, 0o644); err != nil {
+		return fmt.Errorf("flipping victim entry: %w", err)
+	}
+
+	// Injected damage: tracecache/open fires on one of the warm opens.
+	if err := faultinject.Arm(seed, []faultinject.Rule{{
+		Site: "tracecache/open", Action: faultinject.ActError,
+		Hits: []uint64{uint64(1 + rng.Intn(len(ps)))}, MaxFires: 1,
+	}}); err != nil {
+		return fmt.Errorf("cache arm: %w", err)
+	}
+	warm, err := run()
+	faultinject.Disarm()
+	if err != nil {
+		return fmt.Errorf("warm cached campaign under damage failed: %w", err)
+	}
+	if err := match(warm, "damaged-warm"); err != nil {
+		return err
+	}
+	d := cache.Stats().Sub(st)
+	// The failpoint may land on the flipped entry (1 corrupt open) or on
+	// a healthy one (2); either way every corrupt open must have
+	// regenerated and nothing else may have missed.
+	if d.Corrupt < 1 || d.Corrupt > 2 {
+		return fmt.Errorf("damaged-warm run evicted %d corrupt entries, want 1 or 2", d.Corrupt)
+	}
+	if d.Misses != d.Corrupt || d.Hits != int64(len(ps))-d.Corrupt {
+		return fmt.Errorf("damaged-warm run: %d misses / %d hits with %d corrupt, want %d / %d",
+			d.Misses, d.Hits, d.Corrupt, d.Corrupt, int64(len(ps))-d.Corrupt)
+	}
+	vlogf("  cache: damage run: %s", d)
+
+	// The regenerated entries must serve the next campaign fully warm.
+	prev := cache.Stats()
+	third, err := run()
+	if err != nil {
+		return fmt.Errorf("post-repair cached campaign failed: %w", err)
+	}
+	if err := match(third, "repaired-warm"); err != nil {
+		return err
+	}
+	if d := cache.Stats().Sub(prev); d.Misses != 0 || d.Hits != int64(len(ps)) {
+		return fmt.Errorf("post-repair run: %d misses / %d hits, want 0 / %d", d.Misses, d.Hits, len(ps))
+	}
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "first fault-schedule seed")
 	runs := flag.Int("runs", 1, "number of consecutive seeds to soak")
@@ -404,6 +510,9 @@ func main() {
 		err := soakOne(s, ps, schemes, baseline, dir)
 		if err == nil {
 			err = soakTriage(s, ps, schemes, baseline)
+		}
+		if err == nil {
+			err = soakCache(s, ps, schemes, baseline, dir)
 		}
 		if err != nil {
 			failedSeeds = append(failedSeeds, s)

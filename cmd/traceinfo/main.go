@@ -1,9 +1,12 @@
 // Command traceinfo inspects a trace file: metadata, event and
 // operation counts, measured times, and the Table III feature vector.
+// With -cache it instead lists a trace-cache directory: each entry's
+// key, codec and workload-schema versions, size, and last use.
 //
 // Usage:
 //
 //	traceinfo trace.htrc [more.htrc ...]
+//	traceinfo -cache DIR
 package main
 
 import (
@@ -13,13 +16,23 @@ import (
 
 	"hpctradeoff/internal/features"
 	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/tracecache"
+	"hpctradeoff/internal/workload"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print the full Table III feature vector")
+	cacheDir := flag.String("cache", "", "list this trace-cache directory instead of reading trace files")
 	flag.Parse()
+	if *cacheDir != "" {
+		if err := describeCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", *cacheDir, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-v] trace.htrc ...")
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-v] trace.htrc ... | traceinfo -cache DIR")
 		os.Exit(2)
 	}
 	for _, path := range flag.Args() {
@@ -28,6 +41,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// describeCache lists every entry of a trace-cache directory, including
+// ones a current binary would refuse to serve (stale versions, corrupt
+// sidecars) — the point of the listing is seeing what is on disk, not
+// what would hit.
+func describeCache(dir string) error {
+	c, err := tracecache.Open(dir, tracecache.Options{})
+	if err != nil {
+		return err
+	}
+	entries, err := c.List()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d entries\n", dir, len(entries))
+	var total int64
+	for _, e := range entries {
+		if e.Err != nil {
+			fmt.Printf("  %s  UNREADABLE: %v\n", e.Hash, e.Err)
+			continue
+		}
+		stale := ""
+		if e.Codec != trace.VersionV3 || e.WorkloadSchema != workload.SchemaVersion {
+			stale = "  STALE (will regenerate)"
+		}
+		fmt.Printf("  %s  codec=v%d schema=%d  %8.2f MB  last use %s  %s%s\n",
+			e.Hash, e.Codec, e.WorkloadSchema, float64(e.Bytes)/1e6,
+			e.LastUse.Format("2006-01-02 15:04:05"), e.Key, stale)
+		total += e.Bytes
+	}
+	fmt.Printf("  total %.2f MB\n", float64(total)/1e6)
+	return nil
 }
 
 func describe(path string, verbose bool) error {

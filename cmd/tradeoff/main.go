@@ -58,6 +58,19 @@
 // classifier trains on a global calibration split, which a shard
 // cannot see). -shard-worker is internal: the parent re-execs itself
 // with it to run one shard's range.
+//
+// Trace caching (see internal/tracecache): keep the ground-truth-stamped
+// traces in a content-addressed on-disk cache, so repeated campaigns,
+// triage escalation passes, resumes, and shard re-runs replay an mmap'd
+// codec-v3 entry instead of regenerating and re-stamping the trace:
+//
+//	tradeoff -trace-cache .tradeoff-cache
+//	tradeoff -trace-cache .tradeoff-cache -trace-cache-max-bytes 2000000000
+//
+// The directory is safe to share across shard processes and successive
+// runs; results are bit-identical to an uncached campaign. Corrupt
+// entries are detected (checksummed sidecar index), evicted, and
+// regenerated with a warning.
 package main
 
 import (
@@ -76,6 +89,7 @@ import (
 
 	"hpctradeoff/internal/core"
 	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/tracecache"
 	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
@@ -245,6 +259,8 @@ func main() {
 	triageSeed := flag.Int64("triage-seed", 1, "seed for the triage classifier's cross-validated training")
 	shards := flag.Int("shards", 0, "split the campaign across N worker processes with per-shard checkpoint journals (requires -checkpoint)")
 	shardWorker := flag.Int("shard-worker", -1, "internal: run as shard worker I of -shards (set by the parent process)")
+	traceCache := flag.String("trace-cache", "", "serve ground-truth-stamped traces from a content-addressed cache at this directory (created if missing; safe to share across shards and runs)")
+	traceCacheMax := flag.Int64("trace-cache-max-bytes", 0, "LRU-evict least-recently-used cache entries above this total size (0 = unbounded; requires -trace-cache)")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
@@ -273,6 +289,10 @@ func main() {
 	}
 	if *shards > 1 && *shardWorker >= *shards {
 		fmt.Fprintf(os.Stderr, "tradeoff: -shard-worker %d out of range for %d shards\n", *shardWorker, *shards)
+		os.Exit(2)
+	}
+	if *traceCacheMax != 0 && *traceCache == "" {
+		fmt.Fprintln(os.Stderr, "tradeoff: -trace-cache-max-bytes requires -trace-cache")
 		os.Exit(2)
 	}
 	var triagePolicy *triage.Policy
@@ -352,9 +372,28 @@ func main() {
 			exit(1)
 		}()
 
+		// One cache directory serves every process of the campaign: shard
+		// workers inherit -trace-cache through the re-exec'd command line
+		// and publish disjoint manifest ranges into the same dir, so the
+		// parent's post-merge resume pass and any later run hit warm.
+		var cache *tracecache.Cache
+		if *traceCache != "" {
+			cache, err = tracecache.Open(*traceCache, tracecache.Options{
+				MaxBytes: *traceCacheMax,
+				Warnf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "tradeoff: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tradeoff:", err)
+				exit(1)
+			}
+		}
+
 		var rep *core.CampaignReport
 		rs, rep, err = core.RunCampaign(suite, core.CampaignConfig{
 			Workers:        *workers,
+			Cache:          cache,
 			Policy:         core.FailurePolicy{KeepGoing: *keepGoing, MaxRetries: *retries},
 			Run:            core.RunOptions{Timeout: *timeout, MaxEvents: *maxEvents},
 			Schemes:        scheme.ParseList(*schemes),

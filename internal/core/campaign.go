@@ -18,6 +18,7 @@ import (
 	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/tracecache"
 	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
@@ -187,6 +188,15 @@ type CampaignConfig struct {
 	// injection seam for tests. Nil means RunOneOpts. The override is
 	// scheme-agnostic: a tiered campaign's model pass calls it too.
 	Runner func(p workload.Params, ro RunOptions) (*TraceResult, error)
+	// Cache, when non-nil, serves ground-truth-stamped traces from a
+	// content-addressed on-disk cache: every worker Runner (including
+	// the triage model pass, escalations, degradation fallbacks, and
+	// budget demotions) acquires through it, so a trace is generated and
+	// stamped at most once per cache lifetime and every later pass
+	// replays an mmap'd codec-v3 entry. Ignored when Runner is
+	// overridden (the override owns acquisition). Results are
+	// bit-identical with and without a cache; see internal/tracecache.
+	Cache *tracecache.Cache
 	// Triage, when non-nil, runs the campaign tiered: every trace gets
 	// a cheap MFACT pass, the enhanced-MFACT classifier (trained on a
 	// calibration split run at full fidelity) scores it, and only
@@ -223,6 +233,10 @@ type CampaignReport struct {
 	// Triage summarizes the tiered scheduler's decisions; nil for
 	// non-tiered campaigns.
 	Triage *TriageReport
+	// Cache holds the trace cache's activity during this campaign (a
+	// delta, not the cache's lifetime counters); nil when the campaign
+	// ran uncached.
+	Cache *tracecache.Stats
 }
 
 // Err joins every per-trace failure into one error, or nil if all
@@ -250,6 +264,9 @@ func (r *CampaignReport) Summary() string {
 	}
 	if r.Canceled > 0 {
 		s += fmt.Sprintf(" [interrupted: %d traces canceled]", r.Canceled)
+	}
+	if r.Cache != nil {
+		s += fmt.Sprintf(" [trace cache: %s]", r.Cache)
 	}
 	return s
 }
@@ -295,6 +312,11 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 		if len(schemeNames) < 2 {
 			return nil, nil, fmt.Errorf("core: triage needs at least one simulation scheme to escalate to")
 		}
+	}
+
+	var cacheStart tracecache.Stats
+	if cfg.Cache != nil {
+		cacheStart = cfg.Cache.Stats()
 	}
 
 	rep := &CampaignReport{Total: len(ps)}
@@ -395,6 +417,10 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 		c.runPool(poolOpts{indices: pending, schemes: schemeNames, record: true})
 	}
 
+	if cfg.Cache != nil {
+		st := cfg.Cache.Stats().Sub(cacheStart)
+		rep.Cache = &st
+	}
 	rep.Retried = int(c.retries.Load())
 	for _, te := range c.traceErrs {
 		if te != nil {
@@ -564,12 +590,14 @@ func (c *campaign) runPool(o poolOpts) {
 					return
 				}
 				rn.breakers = c.breakers
+				rn.SetCache(c.cfg.Cache)
 				runner = rn.RunOne
 				if degrade {
 					// The fallback Runner deliberately bypasses the breaker
 					// set: degrading to the model is the last resort, taken
 					// even if mfact's own breaker has opened.
 					if frn, err := NewRunner([]string{scheme.MFACT}); err == nil {
+						frn.SetCache(c.cfg.Cache)
 						fallback = frn.RunOne
 					}
 				}

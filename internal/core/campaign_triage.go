@@ -301,6 +301,7 @@ func (c *campaign) demoteToModel(i int, dec map[int]triage.Decision, modelRes []
 				c.setInfraErr(fmt.Errorf("core: %w", err))
 				return
 			}
+			rn.SetCache(c.cfg.Cache)
 			runner = rn.RunOne
 		}
 		var terr *TraceError

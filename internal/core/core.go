@@ -26,6 +26,7 @@ import (
 	"hpctradeoff/internal/scheme"
 	"hpctradeoff/internal/simtime"
 	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/tracecache"
 	"hpctradeoff/internal/workload"
 )
 
@@ -168,7 +169,17 @@ type Runner struct {
 	// shared by every worker's Runner: a scheme whose breaker is open
 	// is skipped with a typed KindBreakerOpen outcome instead of run.
 	breakers *breakerSet
+	// cache, when non-nil, serves ground-truth-stamped traces by content
+	// address instead of re-materializing them: RunOne acquires through
+	// it, so every pass after a trace's first (triage escalation,
+	// resume, repeated campaigns) replays an mmap'd entry at zero
+	// generate+stamp cost. The Cache is safe to share across workers.
+	cache *tracecache.Cache
 }
+
+// SetCache routes this Runner's trace acquisition through c (nil
+// disables caching, the default).
+func (rn *Runner) SetCache(c *tracecache.Cache) { rn.cache = c }
 
 // NewRunner returns a Runner over the named schemes in the given
 // order; nil or empty selects every registered scheme in registry
@@ -193,12 +204,25 @@ func (rn *Runner) RunOne(p workload.Params, ro RunOptions) (*TraceResult, error)
 	if ro.Timeout > 0 {
 		deadline = time.Now().Add(ro.Timeout)
 	}
-	cols, err := workload.MaterializeColumnsLimits(p, workload.Limits{
-		Deadline: deadline, MaxEvents: ro.MaxEvents, Cancel: ro.Cancel,
-	})
+	materialize := func() (*trace.Columns, error) {
+		return workload.MaterializeColumnsLimits(p, workload.Limits{
+			Deadline: deadline, MaxEvents: ro.MaxEvents, Cancel: ro.Cancel,
+		})
+	}
+	var (
+		cols    *trace.Columns
+		release = func() {}
+		err     error
+	)
+	if rn.cache != nil {
+		cols, release, _, err = rn.cache.Acquire(p, materialize)
+	} else {
+		cols, err = materialize()
+	}
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
 	if err != nil {
 		return nil, err

@@ -32,6 +32,15 @@ type Mapped struct {
 // (true only for v3 files on a little-endian host with mmap).
 func (m *Mapped) ZeroCopy() bool { return m.zero }
 
+// Image returns the raw file image backing the trace (the mmap region
+// or the heap buffer it was decoded from), or nil when the trace came
+// through the v1/v2 streaming fallback and no image is retained. The
+// bytes are read-only as far as the caller is concerned: writing to a
+// MAP_PRIVATE region would silently diverge from the file. It exists so
+// integrity layers (the trace cache) can checksum exactly the bytes
+// that were opened, without a second read of the file.
+func (m *Mapped) Image() []byte { return m.data }
+
 // MappedBytes returns the size of the backing image the columns alias,
 // or 0 when the trace was decoded onto the heap.
 func (m *Mapped) MappedBytes() int64 {
@@ -51,6 +60,11 @@ func (m *Mapped) Close() error {
 	}
 	return nil
 }
+
+// VersionV3 is the zero-copy codec version number, exported so cache
+// layers can record which codec an entry was written with and
+// invalidate entries when the format advances.
+const VersionV3 = binaryVersionV3
 
 // SniffVersion reads just enough of a binary trace stream to report its
 // codec version, without decoding anything else.

@@ -1,0 +1,63 @@
+package tracecache
+
+import (
+	"errors"
+	"testing"
+
+	"hpctradeoff/internal/trace"
+	"hpctradeoff/internal/workload"
+)
+
+// FuzzCacheSidecar hardens the sidecar index loader: whatever bytes are
+// on disk — truncations, bit flips, hostile JSON, future versions — the
+// parser must return a valid sidecar or ErrCorrupt, never panic, and
+// never accept an index that would not re-encode to the same trust
+// decisions. Committed seeds live in testdata/fuzz/FuzzCacheSidecar:
+// a valid two-line index, a truncated one, one whose self-checksum
+// lies, and one from an unknown format version.
+func FuzzCacheSidecar(f *testing.F) {
+	valid, err := encodeSidecar(&sidecar{
+		Version: sidecarVersion, Key: Key(workload.Params{App: "CG", Class: "S", Ranks: 4, Machine: "edison", Seed: 1}),
+		Codec: trace.VersionV3, WorkloadSchema: workload.SchemaVersion,
+		Size: 4096, CRC32C: "9a0b1c2d",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("{\"version\":1}\ncrc32c deadbeef\n"))
+	f.Add([]byte("{}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := parseSidecar(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("parseSidecar error %v does not wrap ErrCorrupt", err)
+			}
+			if sc != nil {
+				t.Fatal("parseSidecar returned both a sidecar and an error")
+			}
+			return
+		}
+		// An accepted index must satisfy every invariant the cache
+		// relies on without re-checking...
+		if sc.Version != sidecarVersion || sc.Size <= 0 || len(sc.CRC32C) != 8 || sc.Key == "" {
+			t.Fatalf("parseSidecar accepted an implausible index: %+v", sc)
+		}
+		// ...and survive an encode/parse roundtrip unchanged, so a
+		// repaired or rewritten sidecar preserves trust decisions.
+		re, err := encodeSidecar(sc)
+		if err != nil {
+			t.Fatalf("re-encoding an accepted sidecar: %v", err)
+		}
+		sc2, err := parseSidecar(re)
+		if err != nil {
+			t.Fatalf("re-parsing a re-encoded sidecar: %v", err)
+		}
+		if *sc2 != *sc {
+			t.Fatalf("sidecar did not roundtrip: %+v vs %+v", sc, sc2)
+		}
+	})
+}

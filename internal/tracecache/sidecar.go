@@ -1,0 +1,93 @@
+package tracecache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// The sidecar index is the cache's trust boundary: a trace file is
+// never believed without a sidecar that (a) parses, (b) passes its own
+// self-checksum, (c) names the schema versions this build expects, and
+// (d) matches the trace file's size and CRC. The format is two lines:
+//
+//	{"version":1,"key":"CG.S.x16...","codec":3,...,"crc32c":"9a0b..."}\n
+//	crc32c <8 hex digits of the first line, including its newline>\n
+//
+// The trailing line checksums the JSON line itself, so a torn sidecar
+// write (crash mid-publish) or a bit flip inside the index is detected
+// before any field of it is trusted — the entry is then evicted and
+// regenerated, exactly like a corrupt trace file.
+
+// sidecarVersion is the index format version; unknown versions are
+// rejected (and the entry regenerated), never guessed at.
+const sidecarVersion = 1
+
+// castagnoli is the CRC-32C table shared by the sidecar self-checksum
+// and the trace-file checksum (hardware-accelerated on amd64/arm64, so
+// verifying a hit stays O(bytes) with a tiny constant).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// sidecar describes one cache entry.
+type sidecar struct {
+	// Version is sidecarVersion.
+	Version int `json:"version"`
+	// Key is the human-readable identity the entry hash was derived
+	// from (app, class, ranks, machine, seed, schema versions); it is
+	// what traceinfo -cache prints.
+	Key string `json:"key"`
+	// Codec is the trace codec version of the entry file (v3);
+	// WorkloadSchema the workload.SchemaVersion it was generated under.
+	// Either differing from the current build is a miss, not an error.
+	Codec          int `json:"codec"`
+	WorkloadSchema int `json:"workload_schema"`
+	// Size is the exact byte length of the trace file; CRC32C its
+	// checksum (8 lowercase hex digits), verified on every open.
+	Size   int64  `json:"size"`
+	CRC32C string `json:"crc32c"`
+}
+
+// encodeSidecar renders the two-line sidecar file image.
+func encodeSidecar(sc *sidecar) ([]byte, error) {
+	line, err := json.Marshal(sc)
+	if err != nil {
+		return nil, err
+	}
+	line = append(line, '\n')
+	return append(line, []byte(fmt.Sprintf("crc32c %08x\n", crc32.Checksum(line, castagnoli)))...), nil
+}
+
+// parseSidecar validates and decodes a sidecar file image. Every
+// failure is ErrCorrupt: the caller's only recourse is eviction and
+// regeneration, whatever the specific damage.
+func parseSidecar(data []byte) (*sidecar, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: sidecar truncated before its checksum line", ErrCorrupt)
+	}
+	line, rest := data[:nl+1], data[nl+1:]
+	var got uint32
+	if n, err := fmt.Sscanf(string(rest), "crc32c %08x\n", &got); n != 1 || err != nil {
+		return nil, fmt.Errorf("%w: sidecar checksum line unreadable", ErrCorrupt)
+	}
+	if want := crc32.Checksum(line, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: sidecar self-checksum %08x, computed %08x", ErrCorrupt, got, want)
+	}
+	sc := &sidecar{}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(sc); err != nil {
+		return nil, fmt.Errorf("%w: sidecar JSON: %v", ErrCorrupt, err)
+	}
+	if sc.Version != sidecarVersion {
+		return nil, fmt.Errorf("%w: sidecar version %d, this build reads %d", ErrCorrupt, sc.Version, sidecarVersion)
+	}
+	if sc.Size <= 0 || len(sc.CRC32C) != 8 || sc.Key == "" {
+		return nil, fmt.Errorf("%w: sidecar fields implausible (size %d, crc %q, key %q)", ErrCorrupt, sc.Size, sc.CRC32C, sc.Key)
+	}
+	if _, err := fmt.Sscanf(sc.CRC32C, "%08x", new(uint32)); err != nil {
+		return nil, fmt.Errorf("%w: sidecar trace checksum %q is not hex", ErrCorrupt, sc.CRC32C)
+	}
+	return sc, nil
+}

@@ -23,6 +23,15 @@ import (
 	"hpctradeoff/internal/trace"
 )
 
+// SchemaVersion identifies the generator + ground-truth-stamping
+// semantics: two builds with the same SchemaVersion produce
+// bit-identical stamped traces for the same Params. Bump it whenever a
+// generator, the noise model, or the stamping executor changes observed
+// output — content-addressed caches fold it into their keys, so a bump
+// invalidates every cached trace instead of silently replaying stale
+// ground truth.
+const SchemaVersion = 1
+
 // Params selects one generated trace.
 type Params struct {
 	// App is one of Apps().
