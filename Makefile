@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds triage-smoke chaos-short chaos cache-warm cmb-scaling study figures clean
+.PHONY: all check build test vet test-race race bench bench-short microbench fuzz fuzz-seeds triage-smoke chaos-short chaos cache-warm cmb-scaling study variability figures clean
 
 all: check
 
@@ -58,7 +58,7 @@ microbench:
 # (plain `go test` already includes them; this target names them so a
 # corpus regression fails loudly on its own).
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/core/ ./internal/trace/ ./internal/tracecache/
+	$(GO) test -run 'Fuzz' ./internal/core/ ./internal/trace/ ./internal/tracecache/ ./internal/spec/
 
 # fuzz runs coverage-guided fuzzing on the checkpoint loader.
 FUZZTIME ?= 30s
@@ -103,6 +103,15 @@ cache-warm:
 # overhead for both PHOLD and the parallel packet network.
 cmb-scaling:
 	$(GO) run ./cmd/bench -cmb-scaling results/cmb_scaling.txt
+
+# variability regenerates the committed platform-variability study:
+# per-scheme prediction error vs measured as link jitter, node
+# heterogeneity, and OS-noise amplification are swept in the
+# ground-truth stamping (schemes stay noise-blind; see DESIGN.md §16).
+# The table lands on stdout; results/variability.txt archives it with
+# a provenance header.
+variability:
+	$(GO) run ./cmd/tradeoff -spec specs/variability.yaml -q
 
 # The full 235-trace study (Tables I-II, Figures 1-5, Table IV, rates).
 study:

@@ -33,6 +33,7 @@ import (
 	"hpctradeoff/internal/mpisim"
 	"hpctradeoff/internal/simnet"
 	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/spec"
 	"hpctradeoff/internal/trace"
 	"hpctradeoff/internal/tracecache"
 	"hpctradeoff/internal/triage"
@@ -435,10 +436,20 @@ func benchStream(short bool) uint64 {
 	return events
 }
 
+// specManifest, when non-nil (-spec), replaces the built-in campaign
+// slice so the campaign scenarios benchmark a spec-compiled manifest.
+var specManifest []workload.Params
+
 // campaignSuite is the reduced campaign slice both campaign scenarios
 // run: every scheme on a handful of class-S traces, exactly as one
 // RunCampaign worker would.
 func campaignSuite(short bool) []workload.Params {
+	if specManifest != nil {
+		if short && len(specManifest) > 2 {
+			return specManifest[:2]
+		}
+		return specManifest
+	}
 	ps := []workload.Params{
 		{App: "CG", Class: "S", Ranks: 16, Machine: "cielito", RanksPerNode: 4, Seed: 11},
 		{App: "FT", Class: "S", Ranks: 16, Machine: "hopper", RanksPerNode: 4, Seed: 22},
@@ -781,7 +792,23 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	shards := flag.Int("shards", 1, "campaign shard count this environment runs under (recorded in the snapshot; 1 = unsharded)")
 	cmbOut := flag.String("cmb-scaling", "", "run the CMB scaling study (events/sec vs LP count, lookahead sensitivity, null-message overhead) and write it to this file instead of the scenario snapshot")
+	specPath := flag.String("spec", "", "benchmark the campaign scenarios over this YAML/JSON campaign spec's manifest instead of the built-in slice")
 	flag.Parse()
+
+	if *specPath != "" {
+		s, err := spec.Load(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		c, err := spec.Compile(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		specManifest = c.Manifest
+		fmt.Printf("bench: campaign scenarios use %d traces from %s (%s)\n", len(specManifest), *specPath, c.Hash())
+	}
 
 	if *cmbOut != "" {
 		if err := runCMBScaling(*cmbOut, *short); err != nil {

@@ -43,6 +43,7 @@ import (
 	"hpctradeoff/internal/des"
 	"hpctradeoff/internal/faultinject"
 	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/spec"
 	"hpctradeoff/internal/tracecache"
 	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
@@ -479,7 +480,8 @@ func soakCache(seed int64, ps []workload.Params, schemes []string, baseline []*c
 func main() {
 	seed := flag.Int64("seed", 1, "first fault-schedule seed")
 	runs := flag.Int("runs", 1, "number of consecutive seeds to soak")
-	traces := flag.Int("traces", 6, "suite size (apps rotate through the full set)")
+	traces := flag.Int("traces", 6, "suite size (apps rotate through the full set; with -spec, caps the compiled manifest)")
+	specPath := flag.String("spec", "", "soak the manifest of this YAML/JSON campaign spec instead of the built-in rotation")
 	schemesFlag := flag.String("schemes", "mfact,packet", "scheme selection for the soak")
 	flag.BoolVar(&verbose, "v", false, "print schedules, firings, and recovery summaries")
 	flag.Parse()
@@ -490,6 +492,25 @@ func main() {
 		os.Exit(2)
 	}
 	ps := buildSuite(*traces)
+	if *specPath != "" {
+		s, err := spec.Load(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		c, err := spec.Compile(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		ps = c.Manifest
+		// Keep soak time bounded: -traces caps a spec manifest the same
+		// way it sizes the built-in rotation.
+		if len(ps) > *traces {
+			ps = ps[:*traces]
+		}
+		fmt.Printf("chaos: soaking %d traces from campaign spec %s (%s)\n", len(ps), *specPath, c.Hash())
+	}
 
 	dir, err := os.MkdirTemp("", "chaos-*")
 	if err != nil {

@@ -10,6 +10,21 @@
 //	tradeoff -save results.json       # persist results for cmd/predictor
 //	tradeoff -load results.json       # re-render from saved results
 //
+// Campaign specs (see internal/spec): drive the whole campaign from a
+// declarative YAML/JSON file — manifest sweep, scheme selection,
+// budgets, triage policy, and the platform-noise axis — instead of
+// flags and the built-in suite:
+//
+//	tradeoff -spec specs/paper-235.yaml        # the study, as data
+//	tradeoff -spec specs/variability.yaml      # the noise study
+//	tradeoff -spec s.yaml -stride 8            # flags still filter/override
+//
+// Explicitly-set flags override the spec's values; -stride/-maxranks
+// filter the compiled manifest. Checkpoints record the compiled spec
+// hash and refuse to resume under a different spec (or under none).
+// When results carry non-zero noise points, the variability study
+// table renders after the figures.
+//
 // Campaign robustness (see internal/core's campaign runner):
 //
 //	tradeoff -keep-going              # isolate failing traces, render the rest
@@ -57,7 +72,10 @@
 // requires -checkpoint and does not compose with -triage (the
 // classifier trains on a global calibration split, which a shard
 // cannot see). -shard-worker is internal: the parent re-execs itself
-// with it to run one shard's range.
+// with it to run one shard's range. The flags a worker inherits are
+// the explicit shardForward table below — a new manifest- or
+// config-shaping flag must be added there (the exhaustiveness test
+// fails the build otherwise).
 //
 // Trace caching (see internal/tracecache): keep the ground-truth-stamped
 // traces in a content-addressed on-disk cache, so repeated campaigns,
@@ -89,10 +107,88 @@ import (
 
 	"hpctradeoff/internal/core"
 	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/spec"
 	"hpctradeoff/internal/tracecache"
 	"hpctradeoff/internal/triage"
 	"hpctradeoff/internal/workload"
 )
+
+// The flag set lives at package level so the shard-forwarding tables
+// below (and their exhaustiveness test) can enumerate it.
+var (
+	specPath = flag.String("spec", "", "drive the campaign from this YAML/JSON campaign spec (explicitly-set flags override spec values; -stride/-maxranks filter the compiled manifest)")
+	stride   = flag.Int("stride", 1, "keep every Nth manifest entry")
+	maxRanks = flag.Int("maxranks", 0, "skip traces larger than this (0 = no cap)")
+	workers  = flag.Int("workers", runtime.NumCPU(), "parallel trace workers")
+	minWall  = flag.Duration("minwall", 20*time.Millisecond,
+		"Figure 1 drops traces whose slowest simulation is below this (the paper drops sub-second runs)")
+	save       = flag.String("save", "", "save results JSON to this path (written atomically)")
+	load       = flag.String("load", "", "load results JSON instead of running the suite")
+	figDir     = flag.String("figdir", "", "write the figures as SVG files into this directory")
+	quiet      = flag.Bool("q", false, "suppress per-trace progress")
+	timeout    = flag.Duration("timeout", 0, "wall-clock budget per trace (0 = unlimited)")
+	maxEvents  = flag.Uint64("max-events", 0, "DES event budget per simulation (0 = unlimited)")
+	keepGoing  = flag.Bool("keep-going", false, "continue past failing traces and render from the survivors")
+	retries    = flag.Int("retries", 0, "retry transiently failing traces up to N times")
+	checkpoint = flag.String("checkpoint", "", "append completed traces to this JSONL journal")
+	resume     = flag.Bool("resume", false, "skip traces already in -checkpoint; rerun only missing/failed ones")
+	schemes    = flag.String("schemes", "", "comma-separated scheme subset to run (default: all registered: "+
+		strings.Join(scheme.Names(), ",")+")")
+	cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile      = flag.String("memprofile", "", "write a heap profile at exit to this file")
+	triageOn        = flag.Bool("triage", false, "run the campaign tiered: model everything, escalate only classifier-flagged traces to simulation")
+	triageThreshold = flag.Float64("triage-threshold", 0.5, "escalate when the classifier's P(DIFF > 2%) is at or above this (0 = escalate all, 1 = escalate none)")
+	triageBudget    = flag.String("triage-budget", "", "escalation budget: a count, a duration, or both comma-separated (e.g. 12,30s)")
+	triageSeed      = flag.Int64("triage-seed", 1, "seed for the triage classifier's cross-validated training")
+	shards          = flag.Int("shards", 0, "split the campaign across N worker processes with per-shard checkpoint journals (requires -checkpoint)")
+	shardWorker     = flag.Int("shard-worker", -1, "internal: run as shard worker I of -shards (set by the parent process)")
+	traceCache      = flag.String("trace-cache", "", "serve ground-truth-stamped traces from a content-addressed cache at this directory (created if missing; safe to share across shards and runs)")
+	traceCacheMax   = flag.Int64("trace-cache-max-bytes", 0, "LRU-evict least-recently-used cache entries above this total size (0 = unbounded; requires -trace-cache)")
+)
+
+// shardForward lists every flag a shard worker must inherit from the
+// parent: anything that shapes the manifest (the worker re-derives its
+// range from the same manifest), the campaign config, or the journal
+// location. The parent re-exec builds worker command lines from this
+// table — os.Args is no longer forwarded wholesale — and
+// TestShardFlagTablesExhaustive pins every defined flag to exactly one
+// of the two tables, so a new flag cannot silently skip the decision.
+var shardForward = []string{
+	"spec", "stride", "maxranks", "workers", "q",
+	"timeout", "max-events", "keep-going", "retries",
+	"checkpoint", "resume", "schemes", "shards",
+	"trace-cache", "trace-cache-max-bytes",
+}
+
+// shardLocal lists the flags that stay in the parent process: pure
+// rendering and persistence (the parent renders after the merge),
+// per-process profiling (worker profiles would clobber one file), the
+// triage flags (-shards rejects -triage up front), and -shard-worker
+// itself (appended per worker, never inherited).
+var shardLocal = []string{
+	"minwall", "save", "load", "figdir",
+	"cpuprofile", "memprofile",
+	"triage", "triage-threshold", "triage-budget", "triage-seed",
+	"shard-worker",
+}
+
+// shardWorkerArgs builds shard i's command line: every explicitly-set
+// forwarded flag with its current value, plus the worker marker. Only
+// explicitly-set flags are passed, so the worker re-runs the same
+// flag/spec merge the parent did.
+func shardWorkerArgs(shard int) []string {
+	forward := map[string]bool{}
+	for _, n := range shardForward {
+		forward[n] = true
+	}
+	var args []string
+	flag.Visit(func(f *flag.Flag) {
+		if forward[f.Name] {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	return append(args, fmt.Sprintf("-shard-worker=%d", shard))
+}
 
 // finishProfiles finalizes any active pprof outputs; exit routes all
 // early termination through it so profiles survive failed runs too.
@@ -172,18 +268,16 @@ func (p *prefixWriter) Write(b []byte) (int, error) {
 }
 
 // runShardParent forks one worker process per shard (this binary with
-// -shard-worker=i appended), waits for all of them, and merges their
-// journal shards into the single checkpoint at ckptPath. Signals are
-// forwarded so Ctrl-C interrupts every shard cleanly (each flushes its
-// own journal and exits; re-running the same command resumes). Workers
-// inherit the full original command line, so per-shard resume sees
-// identical manifest flags.
+// the shardForward flags plus -shard-worker=i), waits for all of them,
+// and merges their journal shards into the single checkpoint at
+// ckptPath. Signals are forwarded so Ctrl-C interrupts every shard
+// cleanly (each flushes its own journal and exits; re-running the same
+// command resumes).
 func runShardParent(shards int, ckptPath string, hadResume bool) error {
 	fmt.Printf("sharding the campaign across %d worker processes...\n", shards)
 	cmds := make([]*exec.Cmd, shards)
 	for i := range cmds {
-		args := append(append([]string(nil), os.Args[1:]...), fmt.Sprintf("-shard-worker=%d", i))
-		cmd := exec.Command(os.Args[0], args...)
+		cmd := exec.Command(os.Args[0], shardWorkerArgs(i)...)
 		cmd.Stdout = &prefixWriter{w: os.Stdout, prefix: []byte(fmt.Sprintf("[shard %d] ", i))}
 		cmd.Stderr = &prefixWriter{w: os.Stderr, prefix: []byte(fmt.Sprintf("[shard %d] ", i))}
 		if err := cmd.Start(); err != nil {
@@ -233,47 +327,84 @@ func runShardParent(shards int, ckptPath string, hadResume bool) error {
 	return nil
 }
 
+// loadSpec loads and compiles -spec, then folds its config into the
+// flag-backed values: a flag the user set explicitly on the command
+// line wins; otherwise the spec's value lands in the flag variable, so
+// everything downstream (including the shard workers, which re-run
+// this merge) reads one consistent configuration.
+func loadSpec(path string, explicit map[string]bool) (*spec.Compiled, error) {
+	s, err := spec.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := spec.Compile(s)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !explicit["workers"] && c.Workers > 0 {
+		*workers = c.Workers
+	}
+	if !explicit["timeout"] {
+		*timeout = c.Timeout
+	}
+	if !explicit["max-events"] {
+		*maxEvents = c.MaxEvents
+	}
+	if !explicit["keep-going"] {
+		*keepGoing = c.KeepGoing
+	}
+	if !explicit["retries"] {
+		*retries = c.MaxRetries
+	}
+	if !explicit["schemes"] && len(c.Schemes) > 0 {
+		*schemes = strings.Join(c.Schemes, ",")
+	}
+	return c, nil
+}
+
 func main() {
-	stride := flag.Int("stride", 1, "keep every Nth manifest entry")
-	maxRanks := flag.Int("maxranks", 0, "skip traces larger than this (0 = no cap)")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel trace workers")
-	minWall := flag.Duration("minwall", 20*time.Millisecond,
-		"Figure 1 drops traces whose slowest simulation is below this (the paper drops sub-second runs)")
-	save := flag.String("save", "", "save results JSON to this path (written atomically)")
-	load := flag.String("load", "", "load results JSON instead of running the suite")
-	figDir := flag.String("figdir", "", "write the figures as SVG files into this directory")
-	quiet := flag.Bool("q", false, "suppress per-trace progress")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget per trace (0 = unlimited)")
-	maxEvents := flag.Uint64("max-events", 0, "DES event budget per simulation (0 = unlimited)")
-	keepGoing := flag.Bool("keep-going", false, "continue past failing traces and render from the survivors")
-	retries := flag.Int("retries", 0, "retry transiently failing traces up to N times")
-	checkpoint := flag.String("checkpoint", "", "append completed traces to this JSONL journal")
-	resume := flag.Bool("resume", false, "skip traces already in -checkpoint; rerun only missing/failed ones")
-	schemes := flag.String("schemes", "", "comma-separated scheme subset to run (default: all registered: "+
-		strings.Join(scheme.Names(), ",")+")")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
-	triageOn := flag.Bool("triage", false, "run the campaign tiered: model everything, escalate only classifier-flagged traces to simulation")
-	triageThreshold := flag.Float64("triage-threshold", 0.5, "escalate when the classifier's P(DIFF > 2%) is at or above this (0 = escalate all, 1 = escalate none)")
-	triageBudget := flag.String("triage-budget", "", "escalation budget: a count, a duration, or both comma-separated (e.g. 12,30s)")
-	triageSeed := flag.Int64("triage-seed", 1, "seed for the triage classifier's cross-validated training")
-	shards := flag.Int("shards", 0, "split the campaign across N worker processes with per-shard checkpoint journals (requires -checkpoint)")
-	shardWorker := flag.Int("shard-worker", -1, "internal: run as shard worker I of -shards (set by the parent process)")
-	traceCache := flag.String("trace-cache", "", "serve ground-truth-stamped traces from a content-addressed cache at this directory (created if missing; safe to share across shards and runs)")
-	traceCacheMax := flag.Int64("trace-cache-max-bytes", 0, "LRU-evict least-recently-used cache entries above this total size (0 = unbounded; requires -trace-cache)")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var compiled *spec.Compiled
+	if *specPath != "" {
+		if *load != "" {
+			fmt.Fprintln(os.Stderr, "tradeoff: -spec is meaningless with -load (the results are already computed)")
+			os.Exit(2)
+		}
+		var err error
+		if compiled, err = loadSpec(*specPath, explicit); err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(2)
+		}
+	}
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "tradeoff: -resume requires -checkpoint")
 		os.Exit(2)
+	}
+	var triagePolicy *triage.Policy
+	switch {
+	case *triageOn:
+		triagePolicy = &triage.Policy{Threshold: *triageThreshold, Seed: *triageSeed}
+		if err := core.ParseTriageBudget(*triageBudget, triagePolicy); err != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff:", err)
+			os.Exit(2)
+		}
+	case *triageBudget != "":
+		fmt.Fprintln(os.Stderr, "tradeoff: -triage-budget requires -triage")
+		os.Exit(2)
+	case compiled != nil && compiled.Triage != nil:
+		triagePolicy = compiled.Triage
 	}
 	if *shards > 1 {
 		if *checkpoint == "" {
 			fmt.Fprintln(os.Stderr, "tradeoff: -shards requires -checkpoint (each shard journals to <checkpoint>.shardI-of-N)")
 			os.Exit(2)
 		}
-		if *triageOn {
-			fmt.Fprintln(os.Stderr, "tradeoff: -shards does not compose with -triage (the classifier trains on a global calibration split)")
+		if triagePolicy != nil {
+			fmt.Fprintln(os.Stderr, "tradeoff: -shards does not compose with triage (the classifier trains on a global calibration split)")
 			os.Exit(2)
 		}
 		if *load != "" {
@@ -293,17 +424,6 @@ func main() {
 	}
 	if *traceCacheMax != 0 && *traceCache == "" {
 		fmt.Fprintln(os.Stderr, "tradeoff: -trace-cache-max-bytes requires -trace-cache")
-		os.Exit(2)
-	}
-	var triagePolicy *triage.Policy
-	if *triageOn {
-		triagePolicy = &triage.Policy{Threshold: *triageThreshold, Seed: *triageSeed}
-		if err := core.ParseTriageBudget(*triageBudget, triagePolicy); err != nil {
-			fmt.Fprintln(os.Stderr, "tradeoff:", err)
-			os.Exit(2)
-		}
-	} else if *triageBudget != "" {
-		fmt.Fprintln(os.Stderr, "tradeoff: -triage-budget requires -triage")
 		os.Exit(2)
 	}
 	if err := startProfiles(*cpuprofile, *memprofile); err != nil {
@@ -340,7 +460,19 @@ func main() {
 			exit(1)
 		}
 	} else {
-		suite := workload.SuiteSmall(*stride, *maxRanks)
+		var suite []workload.Params
+		var specHash string
+		if compiled != nil {
+			suite = workload.Filter(compiled.Manifest, *stride, *maxRanks)
+			specHash = compiled.Hash()
+			label := compiled.Name
+			if label == "" {
+				label = *specPath
+			}
+			fmt.Printf("campaign spec %s: %d traces compiled (%s)\n", label, len(compiled.Manifest), specHash)
+		} else {
+			suite = workload.SuiteSmall(*stride, *maxRanks)
+		}
 		if *shardWorker >= 0 {
 			lo, hi := core.ShardRange(len(suite), *shardWorker, *shards)
 			suite = suite[lo:hi]
@@ -373,7 +505,7 @@ func main() {
 		}()
 
 		// One cache directory serves every process of the campaign: shard
-		// workers inherit -trace-cache through the re-exec'd command line
+		// workers inherit -trace-cache through the forwarded command line
 		// and publish disjoint manifest ranges into the same dir, so the
 		// parent's post-merge resume pass and any later run hit warm.
 		var cache *tracecache.Cache
@@ -402,6 +534,7 @@ func main() {
 			Progress:       progress,
 			Cancel:         cancel,
 			Triage:         triagePolicy,
+			SpecHash:       specHash,
 			Warnf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "tradeoff: "+format+"\n", args...)
 			},
@@ -485,6 +618,14 @@ func main() {
 	fmt.Println(core.RenderAppAccuracy("Figure 3: NAS benchmarks (packet-flow vs MFACT, and vs measured)", core.BuildAppAccuracy(rs, nas)))
 	fmt.Println()
 	fmt.Println(core.RenderAppAccuracy("Figure 4: DOE applications (packet-flow vs MFACT, and vs measured)", core.BuildAppAccuracy(rs, doe)))
+
+	// When the results sweep the platform-noise axis (a spec-driven
+	// variability campaign), render the study table; a single baseline
+	// cell means no noise points and nothing to report.
+	if cells := core.BuildVariability(rs); len(cells) > 1 || (len(cells) == 1 && cells[0].Axis != "baseline") {
+		fmt.Println()
+		fmt.Println(core.RenderVariability(cells))
+	}
 
 	if *figDir != "" {
 		paths, err := core.WriteFigures(*figDir, rs, *minWall)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestShardFlagTablesExhaustive pins every defined flag to exactly one
+// of the two shard tables. Adding a flag without deciding whether a
+// shard worker inherits it fails here — the failure mode this guards
+// against is a new manifest-shaping flag (like -spec) that the parent
+// honors but the workers silently ignore, which would make the shards
+// run a different campaign than the parent merges.
+func TestShardFlagTablesExhaustive(t *testing.T) {
+	inTable := map[string]string{}
+	for _, n := range shardForward {
+		if flag.Lookup(n) == nil {
+			t.Errorf("shardForward lists -%s, which is not a defined flag", n)
+		}
+		inTable[n] = "shardForward"
+	}
+	for _, n := range shardLocal {
+		if flag.Lookup(n) == nil {
+			t.Errorf("shardLocal lists -%s, which is not a defined flag", n)
+		}
+		if prev, dup := inTable[n]; dup {
+			t.Errorf("-%s appears in both %s and shardLocal", n, prev)
+		}
+		inTable[n] = "shardLocal"
+	}
+	flag.VisitAll(func(f *flag.Flag) {
+		// The test binary registers its own -test.* flags on the same
+		// flag set; they are not tradeoff's to categorize.
+		if strings.HasPrefix(f.Name, "test.") {
+			return
+		}
+		if inTable[f.Name] == "" {
+			t.Errorf("flag -%s is in neither shardForward nor shardLocal; decide whether shard workers inherit it", f.Name)
+		}
+	})
+}
+
+// TestShardWorkerArgsForwarding drives the arg builder the parent
+// re-exec uses: explicitly-set forwarded flags (notably -spec) appear
+// with their values, unset flags stay off the worker command line, and
+// local flags never leak.
+func TestShardWorkerArgsForwarding(t *testing.T) {
+	for name, val := range map[string]string{
+		"spec":       "specs/paper-235.yaml",
+		"checkpoint": "run.jsonl",
+		"shards":     "3",
+		"schemes":    "mfact,packet",
+		"minwall":    "1s", // local: must not be forwarded
+	} {
+		if err := flag.Set(name, val); err != nil {
+			t.Fatalf("setting -%s: %v", name, err)
+		}
+	}
+	args := shardWorkerArgs(2)
+
+	for _, want := range []string{
+		"-spec=specs/paper-235.yaml",
+		"-checkpoint=run.jsonl",
+		"-shards=3",
+		"-schemes=mfact,packet",
+		"-shard-worker=2",
+	} {
+		if !slices.Contains(args, want) {
+			t.Errorf("worker args missing %q: %v", want, args)
+		}
+	}
+	for _, arg := range args {
+		if strings.HasPrefix(arg, "-minwall") {
+			t.Errorf("local flag leaked to the worker: %v", args)
+		}
+		if strings.HasPrefix(arg, "-stride") {
+			t.Errorf("unset flag forwarded: %v", args)
+		}
+	}
+	if args[len(args)-1] != "-shard-worker=2" {
+		t.Errorf("worker marker must come last (it must win any earlier value): %v", args)
+	}
+}

@@ -205,6 +205,14 @@ type CampaignConfig struct {
 	// See internal/triage and runTriage for the phase structure and
 	// the determinism/resume contract.
 	Triage *triage.Policy
+	// SpecHash identifies the compiled campaign spec driving this run
+	// (spec.Compiled.Hash); empty for flag-driven campaigns. It is
+	// recorded in the checkpoint header and gated symmetrically on
+	// resume: a journal written under one spec refuses to resume under
+	// a different spec, under no spec, or from a flag-driven journal —
+	// the spec is the campaign's identity the same way the scheme set
+	// and triage policy are.
+	SpecHash string
 }
 
 // CampaignReport summarizes a campaign for the operator.
@@ -362,6 +370,20 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 			return nil, nil, fmt.Errorf("core: checkpoint %s was written under triage policy [%s] but this campaign sets [%s]; use a fresh checkpoint path or the matching policy",
 				cfg.CheckpointPath, st.triage, pol)
 		}
+		// The spec hash is the third symmetric resume gate: spec-driven
+		// and flag-driven journals never satisfy each other, and two
+		// specs compiling to different campaigns never share a journal.
+		switch {
+		case st.schemes != nil && cfg.SpecHash == "" && st.spec != "":
+			return nil, nil, fmt.Errorf("core: checkpoint %s was written by a spec-driven campaign (spec %s) but this campaign runs without -spec; use a fresh checkpoint path or the matching spec",
+				cfg.CheckpointPath, st.spec)
+		case st.schemes != nil && cfg.SpecHash != "" && st.spec == "":
+			return nil, nil, fmt.Errorf("core: checkpoint %s was written without a spec but this campaign runs spec %s; use a fresh checkpoint path or drop -spec",
+				cfg.CheckpointPath, cfg.SpecHash)
+		case cfg.SpecHash != "" && st.spec != "" && st.spec != cfg.SpecHash:
+			return nil, nil, fmt.Errorf("core: checkpoint %s was written under spec %s but this campaign runs spec %s; use a fresh checkpoint path or the matching spec",
+				cfg.CheckpointPath, st.spec, cfg.SpecHash)
+		}
 		// Salvage before appending: a torn tail (crash mid-append) is
 		// cut back to the valid JSONL prefix — the records before it
 		// are all kept — so the journal never accretes a garbage line,
@@ -396,7 +418,7 @@ func RunCampaign(ps []workload.Params, cfg CampaignConfig) ([]*TraceResult, *Cam
 	}
 
 	if cfg.CheckpointPath != "" {
-		ckpt, err := OpenCheckpointTriage(cfg.CheckpointPath, schemeNames, pol)
+		ckpt, err := OpenCheckpointSpec(cfg.CheckpointPath, schemeNames, pol, cfg.SpecHash)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: opening checkpoint: %w", err)
 		}

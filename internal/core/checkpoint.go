@@ -51,6 +51,7 @@ type checkpointEntry struct {
 	Header   bool             `json:"header,omitempty"`
 	Schemes  []string         `json:"schemes,omitempty"`
 	Triage   *triage.Policy   `json:"triage,omitempty"`
+	Spec     string           `json:"spec,omitempty"`
 	Key      string           `json:"key,omitempty"`
 	Result   *TraceResult     `json:"result,omitempty"`
 	Decision *triage.Decision `json:"decision,omitempty"`
@@ -74,8 +75,16 @@ var ErrCheckpointVersion = errors.New("core: checkpoint schema version mismatch"
 // under its manifest identity. The scheme set is journal-global, in
 // the header, rather than per-key.)
 func CampaignKey(p workload.Params) string {
-	return fmt.Sprintf("%s.%s.x%d.%s.n%d.s%d.i%d",
+	key := fmt.Sprintf("%s.%s.x%d.%s.n%d.s%d.i%d",
 		p.App, p.Class, p.Ranks, p.Machine, p.RanksPerNode, p.Seed, p.Iters)
+	if !p.Noise.IsZero() {
+		// The noise suffix is conditional so every key journaled before
+		// Params grew the Noise field stays valid: a zero-noise manifest
+		// resumes against its historical journal byte-for-byte.
+		key += fmt.Sprintf("~lj%g.nh%g.os%g.ns%d",
+			p.Noise.LinkJitter, p.Noise.NodeHetero, p.Noise.OSNoise, p.Noise.Seed)
+	}
+	return key
 }
 
 // sortedSchemes returns a sorted copy of names (the canonical header
@@ -131,6 +140,16 @@ func OpenCheckpoint(path string, schemes []string) (*Checkpoint, error) {
 // the resume gate — a journal written under one policy refuses to
 // resume under a different one.
 func OpenCheckpointTriage(path string, schemes []string, pol *triage.Policy) (*Checkpoint, error) {
+	return OpenCheckpointSpec(path, schemes, pol, "")
+}
+
+// OpenCheckpointSpec is OpenCheckpointTriage for a spec-driven
+// campaign: the header additionally records the compiled spec's hash,
+// the third resume gate — a journal written under one spec refuses to
+// resume under a different (or no) spec. The hash covers the compiled
+// manifest and campaign config, not the file's bytes, so reformatting
+// a spec does not orphan its journals but changing what it runs does.
+func OpenCheckpointSpec(path string, schemes []string, pol *triage.Policy, spec string) (*Checkpoint, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -148,6 +167,7 @@ func OpenCheckpointTriage(path string, schemes []string, pol *triage.Policy) (*C
 			Header:  true,
 			Schemes: sortedSchemes(schemes),
 			Triage:  pol,
+			Spec:    spec,
 		}); err != nil {
 			f.Close()
 			return nil, err
@@ -320,7 +340,10 @@ type checkpointState struct {
 	schemes []string
 	// triage is the header's triage policy; nil when the journal was
 	// written by a non-tiered campaign.
-	triage    *triage.Policy
+	triage *triage.Policy
+	// spec is the header's compiled-spec hash; empty when the journal
+	// was written by a flag-driven (non-spec) campaign.
+	spec      string
 	decisions map[string]triage.Decision
 	salvage   *Salvage
 }
@@ -369,6 +392,7 @@ func loadCheckpointState(path string) (*checkpointState, error) {
 				case e.Header:
 					st.schemes = e.Schemes
 					st.triage = e.Triage
+					st.spec = e.Spec
 				case e.Key != "" && e.Result != nil:
 					st.results[e.Key] = e.Result
 				case e.Decision != nil && e.Decision.Key != "":

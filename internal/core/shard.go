@@ -83,6 +83,7 @@ func MergeShardJournals(base string, shards int) (*MergeStats, error) {
 	merged := map[string]*TraceResult{}
 	owner := map[string]int{}
 	var schemes []string
+	var specHash string
 	stats := &MergeStats{PerShard: make([]int, shards)}
 	for s := 0; s < shards; s++ {
 		path := ShardJournalPath(base, s, shards)
@@ -101,9 +102,16 @@ func MergeShardJournals(base string, shards int) (*MergeStats, error) {
 		}
 		if schemes == nil {
 			schemes = st.schemes
+			specHash = st.spec
 		} else if !sameSchemeSet(schemes, st.schemes) {
 			return nil, fmt.Errorf("core: shard journals disagree on schemes: shard 0 has [%s], shard %d has [%s]",
 				strings.Join(schemes, ","), s, strings.Join(st.schemes, ","))
+		} else if st.spec != specHash {
+			// Two shard workers run one campaign; disagreeing spec hashes
+			// mean someone mixed shard files from different spec files (or
+			// spec and non-spec runs) under one base path.
+			return nil, fmt.Errorf("core: shard journals disagree on spec: shard 0 has %q, shard %d has %q",
+				specHash, s, st.spec)
 		}
 		for key, r := range st.results {
 			if prev, dup := owner[key]; dup {
@@ -132,6 +140,7 @@ func MergeShardJournals(base string, shards int) (*MergeStats, error) {
 		Version: checkpointVersion,
 		Header:  true,
 		Schemes: sortedSchemes(schemes),
+		Spec:    specHash,
 	}); err != nil {
 		tmp.Close()
 		return nil, fmt.Errorf("core: merging shard journals: %w", err)

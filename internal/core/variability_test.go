@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hpctradeoff/internal/scheme"
+	"hpctradeoff/internal/simtime"
+	"hpctradeoff/internal/workload"
+)
+
+func vres(noise workload.Noise, measured simtime.Time, preds map[string]simtime.Time) *TraceResult {
+	tr := &TraceResult{
+		Params:   workload.Params{App: "CG", Class: "S", Ranks: 64, Machine: "edison", Noise: noise},
+		Measured: measured,
+		Schemes:  map[string]scheme.Outcome{},
+	}
+	for name, total := range preds {
+		tr.Schemes[name] = scheme.Outcome{Scheme: name, OK: true, Total: total}
+	}
+	return tr
+}
+
+func TestErrVsMeasured(t *testing.T) {
+	tr := vres(workload.Noise{}, 1000, map[string]simtime.Time{scheme.MFACT: 1100, scheme.Packet: 900})
+	if e, ok := tr.ErrVsMeasured(scheme.MFACT); !ok || e < 0.0999 || e > 0.1001 {
+		t.Errorf("over-prediction error = %v, %v; want 0.1", e, ok)
+	}
+	if e, ok := tr.ErrVsMeasured(scheme.Packet); !ok || e < 0.0999 || e > 0.1001 {
+		t.Errorf("under-prediction error = %v, %v; want 0.1 (errors are absolute)", e, ok)
+	}
+	if _, ok := tr.ErrVsMeasured("absent"); ok {
+		t.Error("error defined for a scheme that never ran")
+	}
+	tr.Measured = 0
+	if _, ok := tr.ErrVsMeasured(scheme.MFACT); ok {
+		t.Error("error defined with no measured time")
+	}
+}
+
+func TestBuildVariability(t *testing.T) {
+	rs := []*TraceResult{
+		vres(workload.Noise{}, 1000, map[string]simtime.Time{scheme.MFACT: 1050}),
+		vres(workload.Noise{}, 1000, map[string]simtime.Time{scheme.MFACT: 950}),
+		vres(workload.Noise{LinkJitter: 0.1}, 1000, map[string]simtime.Time{scheme.MFACT: 800}),
+		vres(workload.Noise{LinkJitter: 0.3}, 1000, map[string]simtime.Time{scheme.MFACT: 600}),
+		vres(workload.Noise{OSNoise: 2}, 1000, map[string]simtime.Time{scheme.MFACT: 700}),
+		vres(workload.Noise{LinkJitter: 0.1, OSNoise: 2}, 1000, map[string]simtime.Time{scheme.MFACT: 500}),
+		nil, // failed trace: dropped, not counted
+	}
+	cells := BuildVariability(rs)
+	if len(cells) != 5 {
+		t.Fatalf("got %d cells, want 5 (baseline, lj .1, lj .3, os 2, mixed)", len(cells))
+	}
+	if cells[0].Axis != "baseline" || cells[0].Traces != 2 {
+		t.Errorf("cell 0 = %+v, want the 2-trace baseline first", cells[0])
+	}
+	if got := cells[0].MeanErr[scheme.MFACT]; got < 0.0499 || got > 0.0501 {
+		t.Errorf("baseline mean error = %v, want 0.05 (mean of +5%% and -5%%)", got)
+	}
+	if cells[1].Axis != "link-jitter" || cells[1].Amplitude != 0.1 ||
+		cells[2].Axis != "link-jitter" || cells[2].Amplitude != 0.3 {
+		t.Errorf("link-jitter cells out of order: %+v, %+v", cells[1], cells[2])
+	}
+	if cells[3].Axis != "node-hetero" && cells[3].Axis != "os-noise" {
+		t.Errorf("cell 3 axis = %q", cells[3].Axis)
+	}
+	last := cells[len(cells)-1]
+	if last.Axis != "mixed" || last.Amplitude != 2 {
+		t.Errorf("mixed cell = %+v, want axis=mixed amplitude=2 (largest hot axis)", last)
+	}
+
+	out := RenderVariability(cells)
+	for _, want := range []string{"baseline", "link-jitter", "os-noise", "mixed", "mfact mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -52,6 +52,19 @@ type Config struct {
 	// MPIOverhead is the per-call software overhead of an MPI
 	// operation, paid even by calls that complete immediately.
 	MPIOverhead simtime.Time
+
+	// LinkBWScale, when non-nil, multiplies each link's bandwidth by
+	// LinkBWScale[id] — the per-link variability of a real fabric
+	// (degraded optics, congested uplinks). Nil means every link runs
+	// at nominal LinkBandwidth; the simulators treat the two
+	// identically for a scale of all-ones. Populated by
+	// ApplyVariability.
+	LinkBWScale []float64
+	// NodeSpeed, when non-nil, is a per-node compute slowdown factor
+	// (≥ 1): node n's compute intervals stretch by NodeSpeed[n]. Nil
+	// means homogeneous nodes. Populated by ApplyVariability; consumed
+	// via RankSpeeds.
+	NodeSpeed []float64
 }
 
 // Nodes returns the number of compute nodes the job occupies.
@@ -80,6 +93,26 @@ func (c *Config) Validate() error {
 	for r, n := range c.NodeOf {
 		if int(n) < 0 || int(n) >= c.Topo.Nodes() {
 			return fmt.Errorf("machine %s: rank %d mapped to node %d of %d", c.Name, r, n, c.Topo.Nodes())
+		}
+	}
+	if c.LinkBWScale != nil {
+		if len(c.LinkBWScale) != c.Topo.NumLinks() {
+			return fmt.Errorf("machine %s: %d link scales for %d links", c.Name, len(c.LinkBWScale), c.Topo.NumLinks())
+		}
+		for id, s := range c.LinkBWScale {
+			if s <= 0 {
+				return fmt.Errorf("machine %s: non-positive scale %g on link %d", c.Name, s, id)
+			}
+		}
+	}
+	if c.NodeSpeed != nil {
+		if len(c.NodeSpeed) != c.Topo.Nodes() {
+			return fmt.Errorf("machine %s: %d node speeds for %d nodes", c.Name, len(c.NodeSpeed), c.Topo.Nodes())
+		}
+		for n, s := range c.NodeSpeed {
+			if s <= 0 {
+				return fmt.Errorf("machine %s: non-positive speed %g on node %d", c.Name, s, n)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,86 @@
+package machine
+
+import "math"
+
+// Variability perturbs a nominal machine the way a real production
+// system deviates from its spec sheet: per-link bandwidth jitter
+// (degraded optics, background congestion on shared uplinks) and
+// heterogeneous node speeds (thermal throttling, DVFS, part-to-part
+// variation). Cornebize & Legrand's "Variability Matters" shows these
+// effects dominate prediction error at scale; the variability study
+// sweeps them as first-class campaign axes.
+//
+// All draws are pure functions of (Seed, link/node index), so the same
+// Variability always builds the same perturbed machine — ground truth
+// stays reproducible and cacheable.
+type Variability struct {
+	// LinkJitter is the sigma of the mean-1 lognormal multiplier drawn
+	// per link (0 = nominal links).
+	LinkJitter float64
+	// NodeHetero is the amplitude of node slowdowns: each node's speed
+	// factor is uniform in [1, 1+NodeHetero] (0 = homogeneous).
+	NodeHetero float64
+	// Seed drives all draws.
+	Seed int64
+}
+
+// IsZero reports whether v perturbs nothing.
+func (v Variability) IsZero() bool { return v == Variability{} }
+
+// ApplyVariability populates LinkBWScale and NodeSpeed from v's
+// amplitudes. A zero amplitude leaves the corresponding field nil, so
+// ApplyVariability of the zero Variability is a no-op and the machine
+// stays bit-identical to its nominal build.
+func (c *Config) ApplyVariability(v Variability) {
+	if v.LinkJitter > 0 {
+		scale := make([]float64, c.Topo.NumLinks())
+		for id := range scale {
+			// Mean-corrected lognormal via Box–Muller: E[scale] = 1, so
+			// jitter redistributes bandwidth without shifting the
+			// fabric's aggregate capacity.
+			u1 := vuniform(vhash(v.Seed, uint64(id), 1))
+			u2 := vuniform(vhash(v.Seed, uint64(id), 2))
+			z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+			scale[id] = math.Exp(v.LinkJitter*z - v.LinkJitter*v.LinkJitter/2)
+		}
+		c.LinkBWScale = scale
+	}
+	if v.NodeHetero > 0 {
+		speed := make([]float64, c.Topo.Nodes())
+		for n := range speed {
+			speed[n] = 1 + v.NodeHetero*vuniform(vhash(v.Seed, uint64(n), 3))
+		}
+		c.NodeSpeed = speed
+	}
+}
+
+// RankSpeeds maps NodeSpeed down to a per-rank slowdown vector for the
+// compute-time perturber, or nil for a homogeneous machine.
+func (c *Config) RankSpeeds() []float64 {
+	if c.NodeSpeed == nil {
+		return nil
+	}
+	out := make([]float64, len(c.NodeOf))
+	for r, n := range c.NodeOf {
+		out[r] = c.NodeSpeed[n]
+	}
+	return out
+}
+
+// vhash is a splitmix64-style mix of the seed and two words, kept
+// separate from mpisim's event-noise hash so the two streams never
+// correlate.
+func vhash(seed int64, a, b uint64) uint64 {
+	x := uint64(seed) ^ a*0xbf58476d1ce4e5b9 ^ b*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// vuniform maps a hash to (0,1], avoiding log(0).
+func vuniform(h uint64) float64 {
+	return (float64(h>>11) + 1) / float64(1<<53)
+}

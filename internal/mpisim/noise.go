@@ -29,6 +29,10 @@ type Noise struct {
 	// OverheadJitter is the mean extra per-call MPI software overhead
 	// (exponentially distributed).
 	OverheadJitter simtime.Time
+	// RankSpeed, when non-nil, is a deterministic per-rank compute
+	// slowdown (heterogeneous node speeds) applied before the random
+	// jitter. Nil means homogeneous ranks.
+	RankSpeed []float64
 
 	// overheadCalls distinguishes successive Overhead draws on a rank.
 	overheadCalls []uint32
@@ -48,10 +52,30 @@ func DefaultNoise(seed int64, ranks int) *Noise {
 	}
 }
 
+// VariabilityNoise returns the ground-truth noise model under swept
+// platform variability: the default model with its compute jitter,
+// spike probability, and overhead jitter scaled by (1 + osScale), plus
+// an optional deterministic per-rank slowdown from heterogeneous node
+// speeds. VariabilityNoise(seed, ranks, 0, nil) is DefaultNoise — the
+// zero point of the sweep reproduces the historical model exactly.
+func VariabilityNoise(seed int64, ranks int, osScale float64, rankSpeed []float64) *Noise {
+	n := DefaultNoise(seed, ranks)
+	if osScale != 0 {
+		n.CompSigma *= 1 + osScale
+		n.SpikeProb *= 1 + osScale
+		n.OverheadJitter = n.OverheadJitter.Scale(1 + osScale)
+	}
+	n.RankSpeed = rankSpeed
+	return n
+}
+
 // Compute implements Perturber.
 func (n *Noise) Compute(rank int32, ev int32, d simtime.Time) simtime.Time {
 	if d <= 0 {
 		return d
+	}
+	if n.RankSpeed != nil && int(rank) < len(n.RankSpeed) {
+		d = d.Scale(n.RankSpeed[rank])
 	}
 	h := n.hash(uint64(rank), uint64(ev), 1)
 	// Lognormal multiplicative jitter via Box–Muller.

@@ -81,6 +81,9 @@ func newFlowNet(eng *des.Engine, mach *machine.Config, cfg Config) *flowNet {
 		default:
 			f.bwOf[id] = mach.LinkBandwidth
 		}
+		if mach.LinkBWScale != nil {
+			f.bwOf[id] *= mach.LinkBWScale[id]
+		}
 	}
 	return f
 }

@@ -178,12 +178,17 @@ func (pk *packet) hop() {
 }
 
 func (p *packetNet) linkBandwidth(id topology.LinkID) float64 {
+	var bw float64
 	switch p.mach.Topo.Link(id).Kind {
 	case topology.Injection, topology.Ejection:
-		return p.mach.InjectionBandwidth
+		bw = p.mach.InjectionBandwidth
 	default:
-		return p.mach.LinkBandwidth
+		bw = p.mach.LinkBandwidth
 	}
+	if p.mach.LinkBWScale != nil {
+		bw *= p.mach.LinkBWScale[id]
+	}
+	return bw
 }
 
 // routeCache memoizes node-pair routes.

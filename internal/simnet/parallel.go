@@ -212,10 +212,15 @@ func (a *routerActor) Handle(now simtime.Time, msg any, s des.Scheduler) {
 }
 
 func (pp *ParallelPacket) linkBW(id topology.LinkID) float64 {
+	var bw float64
 	switch pp.mach.Topo.Link(id).Kind {
 	case topology.Injection, topology.Ejection:
-		return pp.mach.InjectionBandwidth
+		bw = pp.mach.InjectionBandwidth
 	default:
-		return pp.mach.LinkBandwidth
+		bw = pp.mach.LinkBandwidth
 	}
+	if pp.mach.LinkBWScale != nil {
+		bw *= pp.mach.LinkBWScale[id]
+	}
+	return bw
 }

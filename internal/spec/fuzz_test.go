@@ -1,0 +1,52 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSpecParse holds the whole front end — YAML subset, JSON path,
+// schema validation, and compilation — to "valid or typed error":
+// arbitrary input must either compile or fail with *Error, with no
+// panics, hangs, or untyped errors leaking from strconv/json/etc.
+// The committed corpus under testdata/fuzz covers the interesting
+// failure classes: an invalid sweep (unterminated flow sequence), an
+// unknown app, and a cross-product past the manifest cap.
+func FuzzSpecParse(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte("{\"groups\": [{\"apps\": [\"CG\"], \"classes\": [\"B\"], \"ranks\": [64], \"machines\": [\"edison\"], \"seeds\": [1]}]}"))
+	f.Add([]byte("groups:\n  - apps: [CG\n    classes: B\n"))
+	f.Add([]byte("a: [1, [2, [3, [4]]]]\n"))
+	f.Add([]byte("- - - -\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			requireTyped(t, err)
+			return
+		}
+		c, err := Compile(s)
+		if err != nil {
+			requireTyped(t, err)
+			return
+		}
+		// A successful compile must also be deterministic and bounded.
+		if len(c.Manifest) > MaxManifest {
+			t.Fatalf("compiled %d entries past the %d cap", len(c.Manifest), MaxManifest)
+		}
+		c2, err := Compile(s)
+		if err != nil || c2.Hash() != c.Hash() {
+			t.Fatalf("recompilation diverged: err=%v, %s vs %s", err, c.Hash(), c2.Hash())
+		}
+	})
+}
+
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *spec.Error: %v", err, err)
+	}
+	if se.Error() == "" {
+		t.Fatal("typed error with empty message")
+	}
+}

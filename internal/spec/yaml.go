@@ -1,0 +1,467 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A hand-written parser for the YAML subset campaign specs use. The
+// repo deliberately has zero dependencies, so rather than vendoring a
+// YAML library this accepts the structural slice of YAML the schema
+// needs — block mappings, block sequences, flow sequences, scalars,
+// comments, quoted strings — and rejects everything else with a typed
+// *Error naming the line. Specs are also accepted as plain JSON (the
+// subset's semantics are identical), so anything the parser cannot
+// express has an escape hatch.
+//
+// The parser is a fuzz target (FuzzSpecParse): every input must either
+// parse or fail with *Error — no panics, no hangs — which is why the
+// limits below are hard caps, not suggestions.
+
+const (
+	maxYAMLBytes = 1 << 20
+	maxYAMLLines = 1 << 16
+	maxYAMLDepth = 48
+	maxYAMLNodes = 1 << 18
+)
+
+// Error is the typed parse/validation error every spec failure
+// surfaces as. Line is 1-based (0 when the error is not tied to a
+// line); Field names the schema path for validation errors.
+type Error struct {
+	Line  int
+	Field string
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Line > 0 && e.Field != "":
+		return fmt.Sprintf("spec: line %d: %s: %s", e.Line, e.Field, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("spec: line %d: %s", e.Line, e.Msg)
+	case e.Field != "":
+		return fmt.Sprintf("spec: %s: %s", e.Field, e.Msg)
+	}
+	return "spec: " + e.Msg
+}
+
+func errf(line int, field, format string, args ...any) *Error {
+	return &Error{Line: line, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// yamlLine is one significant (non-blank, non-comment) input line.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+	nodes int
+}
+
+// parseDocument parses a spec document: YAML subset, or JSON when the
+// first significant byte is '{'.
+func parseDocument(data []byte) (map[string]any, error) {
+	if len(data) > maxYAMLBytes {
+		return nil, errf(0, "", "document exceeds %d bytes", maxYAMLBytes)
+	}
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "{") {
+		var m map[string]any
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		dec.UseNumber()
+		if err := dec.Decode(&m); err != nil {
+			return nil, errf(0, "", "invalid JSON: %v", err)
+		}
+		out, err := normalizeJSON(m, 0)
+		if err != nil {
+			return nil, err
+		}
+		return out.(map[string]any), nil
+	}
+	p, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return map[string]any{}, nil
+	}
+	v, err := p.parseBlock(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, errf(l.num, "", "unexpected content at indent %d after the document block", l.indent)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, errf(p.lines[0].num, "", "document root must be a mapping, not a sequence or scalar")
+	}
+	return m, nil
+}
+
+// normalizeJSON converts json.Number values to int64/float64 so the
+// two input formats decode identically, enforcing the node cap.
+func normalizeJSON(v any, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, errf(0, "", "nesting exceeds depth %d", maxYAMLDepth)
+	}
+	switch t := v.(type) {
+	case json.Number:
+		if i, err := strconv.ParseInt(string(t), 10, 64); err == nil {
+			return i, nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return nil, errf(0, "", "bad number %q", t)
+		}
+		return f, nil
+	case map[string]any:
+		for k, e := range t {
+			n, err := normalizeJSON(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			t[k] = n
+		}
+		return t, nil
+	case []any:
+		for i, e := range t {
+			n, err := normalizeJSON(e, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = n
+		}
+		return t, nil
+	}
+	return v, nil
+}
+
+// splitLines strips comments and blanks, records indentation, and
+// rejects tabs in indentation (YAML forbids them; silently treating a
+// tab as one column would mis-nest the document).
+func splitLines(s string) (*yamlParser, error) {
+	raw := strings.Split(s, "\n")
+	if len(raw) > maxYAMLLines {
+		return nil, errf(0, "", "document exceeds %d lines", maxYAMLLines)
+	}
+	p := &yamlParser{}
+	for i, line := range raw {
+		num := i + 1
+		line = strings.TrimRight(line, " \t\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, errf(num, "", "tab in indentation (use spaces)")
+		}
+		text := stripComment(line[indent:])
+		text = strings.TrimRight(text, " \t")
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(p.lines) == 0 {
+			continue // tolerate a leading document marker
+		}
+		p.lines = append(p.lines, yamlLine{indent: indent, text: text, num: num})
+	}
+	return p, nil
+}
+
+// stripComment removes a trailing "#"-comment, honoring quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the run of lines sharing the indentation of the
+// line at p.pos, which must be ≥ minIndent; the block's kind (sequence
+// vs mapping) is set by its first line.
+func (p *yamlParser) parseBlock(minIndent, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, errf(p.lines[p.pos].num, "", "nesting exceeds depth %d", maxYAMLDepth)
+	}
+	first := p.lines[p.pos]
+	if first.indent < minIndent {
+		return nil, errf(first.num, "", "expected a nested block indented past column %d", minIndent)
+	}
+	blockIndent := first.indent
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(blockIndent, depth)
+	}
+	return p.parseMapping(blockIndent, depth)
+}
+
+func (p *yamlParser) parseSequence(indent, depth int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, errf(l.num, "", "unexpected indent %d inside a sequence at indent %d", l.indent, indent)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			break
+		}
+		if err := p.countNode(l.num); err != nil {
+			return nil, err
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		switch {
+		case rest == "":
+			// "-" alone: the item is the following deeper block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseBlock(indent+1, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isMappingLine(rest):
+			// "- key: v": the item is a mapping whose first entry sits on
+			// the dash line. Re-home the line two columns deeper and
+			// parse the mapping block from here.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: rest, num: l.num}
+			v, err := p.parseBlock(indent+1, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			v, err := parseScalarOrFlow(rest, l.num, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			p.pos++
+		}
+	}
+	return out, nil
+}
+
+func (p *yamlParser) parseMapping(indent, depth int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, errf(l.num, "", "unexpected indent %d inside a mapping at indent %d", l.indent, indent)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, errf(l.num, "", "sequence item inside a mapping block")
+		}
+		if err := p.countNode(l.num); err != nil {
+			return nil, err
+		}
+		key, rest, err := splitKey(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, errf(l.num, "", "duplicate key %q", key)
+		}
+		if rest == "" {
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out[key] = nil
+				continue
+			}
+			v, err := p.parseBlock(indent+1, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		} else {
+			v, err := parseScalarOrFlow(rest, l.num, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			p.pos++
+		}
+	}
+	return out, nil
+}
+
+func (p *yamlParser) countNode(line int) error {
+	p.nodes++
+	if p.nodes > maxYAMLNodes {
+		return errf(line, "", "document exceeds %d nodes", maxYAMLNodes)
+	}
+	return nil
+}
+
+// isMappingLine reports whether s begins a mapping entry: a bare key
+// followed by ":" at end or ": ".
+func isMappingLine(s string) bool {
+	_, _, err := splitKey(s, 0)
+	return err == nil
+}
+
+// splitKey splits "key: value" / "key:" into key and the raw value
+// text. Keys are bare identifiers (letters, digits, '_', '-', '.'),
+// which is all the schema ever uses.
+func splitKey(s string, num int) (key, rest string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return "", "", errf(num, "", "expected \"key: value\", got %q", s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", errf(num, "", "missing space after %q:", s[:i])
+	}
+	key = s[:i]
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return "", "", errf(num, "", "key %q has unsupported character %q", key, c)
+		}
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// parseScalarOrFlow parses an inline value: a flow sequence "[a, b]"
+// or a scalar.
+func parseScalarOrFlow(s string, num, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, errf(num, "", "nesting exceeds depth %d", maxYAMLDepth)
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, errf(num, "", "unterminated flow sequence %q", s)
+		}
+		items, err := splitFlow(s[1:len(s)-1], num)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, 0, len(items))
+		for _, it := range items {
+			v, err := parseScalarOrFlow(it, num, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, errf(num, "", "flow mappings are not supported; use a block mapping")
+	}
+	return parseScalar(s, num)
+}
+
+// splitFlow splits a flow sequence's interior on top-level commas,
+// honoring quotes and nested brackets.
+func splitFlow(s string, num int) ([]string, error) {
+	var items []string
+	start, brackets := 0, 0
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '[':
+			if !inS && !inD {
+				brackets++
+			}
+		case ']':
+			if !inS && !inD {
+				brackets--
+				if brackets < 0 {
+					return nil, errf(num, "", "unbalanced brackets in flow sequence")
+				}
+			}
+		case ',':
+			if !inS && !inD && brackets == 0 {
+				items = append(items, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if inS || inD {
+		return nil, errf(num, "", "unterminated quote in flow sequence")
+	}
+	if brackets != 0 {
+		return nil, errf(num, "", "unbalanced brackets in flow sequence")
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		items = append(items, last)
+	} else if len(items) > 0 {
+		return nil, errf(num, "", "trailing comma in flow sequence")
+	}
+	return items, nil
+}
+
+// parseScalar interprets one scalar token.
+func parseScalar(s string, num int) (any, error) {
+	switch {
+	case s == "null" || s == "~":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case strings.HasPrefix(s, "\""):
+		var out string
+		if err := json.Unmarshal([]byte(s), &out); err != nil {
+			return nil, errf(num, "", "bad double-quoted string %s", s)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, errf(num, "", "unterminated single-quoted string %s", s)
+		}
+		body := s[1 : len(s)-1]
+		if strings.Contains(strings.ReplaceAll(body, "''", ""), "'") {
+			return nil, errf(num, "", "stray quote in single-quoted string %s", s)
+		}
+		return strings.ReplaceAll(body, "''", "'"), nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

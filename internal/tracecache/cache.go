@@ -79,9 +79,15 @@ const (
 // format or generator bump invalidates the whole cache by construction
 // (stale entries age out via the LRU cap) rather than by a migration.
 func Key(p workload.Params) string {
-	return fmt.Sprintf("codec%d.gen%d|%s.%s.x%d.%s.n%d.s%d.i%d",
+	// %g round-trips float64 exactly, so two Params with different
+	// noise amplitudes can never share a key. The noise fields are
+	// folded unconditionally (zero values included): conditional
+	// folding is exactly the kind of shortcut TestKeyFoldsEveryParam
+	// exists to catch.
+	return fmt.Sprintf("codec%d.gen%d|%s.%s.x%d.%s.n%d.s%d.i%d|lj%g.nh%g.os%g.ns%d",
 		trace.VersionV3, workload.SchemaVersion,
-		p.App, p.Class, p.Ranks, p.Machine, p.RanksPerNode, p.Seed, p.Iters)
+		p.App, p.Class, p.Ranks, p.Machine, p.RanksPerNode, p.Seed, p.Iters,
+		p.Noise.LinkJitter, p.Noise.NodeHetero, p.Noise.OSNoise, p.Noise.Seed)
 }
 
 // Hash returns the content-address of p's entry: the first 32 hex
@@ -232,7 +238,7 @@ func (c *Cache) Acquire(p workload.Params, materialize func() (*trace.Columns, e
 	if err := c.publish(hash, p, cols); err != nil {
 		c.warnf("tracecache: publishing %s (%s): %v; continuing uncached", Key(p), hash, err)
 	} else {
-		c.enforceCap()
+		c.enforceCap(hash)
 	}
 	return cols, func() {}, false, nil
 }
@@ -444,7 +450,12 @@ func (c *Cache) scan() (entries []entryFile, tmps []string, err error) {
 
 // enforceCap applies the LRU size cap, and opportunistically collects
 // temp files abandoned by crashed publishes. One sweep runs at a time.
-func (c *Cache) enforceCap() {
+// keep names the entry just published, which the sweep never evicts:
+// kernel file timestamps tick at millisecond-ish granularity, so
+// back-to-back publishes can share one mtime, and an unstable sort over
+// the tie could otherwise pick the entry this very sweep is running on
+// behalf of.
+func (c *Cache) enforceCap(keep string) {
 	if c.maxBytes <= 0 {
 		return
 	}
@@ -469,10 +480,20 @@ func (c *Cache) enforceCap() {
 	if total <= c.maxBytes {
 		return
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].lastUse.Before(entries[j].lastUse) })
+	sort.Slice(entries, func(i, j int) bool {
+		// Tie-break identical mtimes by hash so concurrent sweeps and
+		// repeated runs agree on the victim order.
+		if entries[i].lastUse.Equal(entries[j].lastUse) {
+			return entries[i].hash < entries[j].hash
+		}
+		return entries[i].lastUse.Before(entries[j].lastUse)
+	})
 	for _, e := range entries {
 		if total <= c.maxBytes {
 			break
+		}
+		if e.hash == keep {
+			continue
 		}
 		os.Remove(filepath.Join(c.dir, e.hash+sidecarSuffix))
 		os.Remove(filepath.Join(c.dir, e.hash+traceSuffix))

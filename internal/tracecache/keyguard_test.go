@@ -1,0 +1,110 @@
+package tracecache
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hpctradeoff/internal/workload"
+)
+
+// TestKeyFoldsEveryParam walks workload.Params by reflection, mutates
+// every field (recursing into sub-structs like Noise), and asserts each
+// mutation changes Key — and therefore Hash, the entry's
+// content-address. A Params field the key ignores would let two
+// different scenarios share a cache entry and silently serve stale
+// ground truth; this guard makes that a test failure the moment the
+// field is added, instead of a wrong-science incident later.
+func TestKeyFoldsEveryParam(t *testing.T) {
+	base := workload.Params{
+		App: "CG", Class: "B", Ranks: 64, Machine: "edison",
+		RanksPerNode: 8, Seed: 42, Iters: 3,
+		Noise: workload.Noise{LinkJitter: 0.1, NodeHetero: 0.2, OSNoise: 0.3, Seed: 7},
+	}
+	baseKey := Key(base)
+
+	var walk func(t *testing.T, v reflect.Value, path string, mutated *workload.Params)
+	walk = func(t *testing.T, v reflect.Value, path string, mutated *workload.Params) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			fv := v.Field(i)
+			name := path + f.Name
+			if f.Type.Kind() == reflect.Struct {
+				walk(t, fv, name+".", mutated)
+				continue
+			}
+			if !mutate(fv) {
+				t.Fatalf("%s: don't know how to mutate a %s — teach this guard about the new field type", name, f.Type)
+			}
+			if got := Key(*mutated); got == baseKey {
+				t.Errorf("%s: mutating the field does not change Key(p) = %q — cache would serve stale ground truth", name, baseKey)
+			}
+			// Restore for the next field so mutations are independent.
+			*mutated = base
+		}
+	}
+	p := base
+	walk(t, reflect.ValueOf(&p).Elem(), "", &p)
+
+	if t.Failed() {
+		return
+	}
+	// The guard is only as good as its base fixture: every field must
+	// start non-zero (a zero base could mask a mutation that lands back
+	// on another field's encoding).
+	var checkNonZero func(v reflect.Value, path string)
+	checkNonZero = func(v reflect.Value, path string) {
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Type().Field(i)
+			fv := v.Field(i)
+			if f.Type.Kind() == reflect.Struct {
+				checkNonZero(fv, path+f.Name+".")
+				continue
+			}
+			if fv.IsZero() {
+				t.Errorf("base fixture leaves %s%s zero; give it a distinct non-zero value", path, f.Name)
+			}
+		}
+	}
+	checkNonZero(reflect.ValueOf(base), "")
+}
+
+// mutate overwrites v with a value distinct from its current one,
+// returning false for kinds it does not understand.
+func mutate(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(v.String() + "~guard")
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.5)
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	default:
+		return false
+	}
+	return true
+}
+
+// TestKeyDistinguishesNoiseFromZero is the concrete regression the
+// reflection guard abstracts: a noisy trace and its zero-noise twin
+// must hash to different cache entries.
+func TestKeyDistinguishesNoiseFromZero(t *testing.T) {
+	p := workload.Params{App: "CG", Class: "B", Ranks: 64, Machine: "edison", Seed: 1}
+	q := p
+	q.Noise = workload.Noise{LinkJitter: 0.2}
+	if Key(p) == Key(q) {
+		t.Fatalf("zero-noise and noisy Params share cache key %q", Key(p))
+	}
+	if Hash(p) == Hash(q) {
+		t.Fatalf("zero-noise and noisy Params share content-address %s", Hash(p))
+	}
+	for _, k := range []string{Key(p), Key(q)} {
+		if got := fmt.Sprintf("%s", k); got == "" {
+			t.Fatalf("empty key")
+		}
+	}
+}

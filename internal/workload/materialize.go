@@ -91,10 +91,27 @@ func stamp(tr *trace.Trace, p Params, deadline time.Time, maxEvents uint64) (*tr
 // stampSource is stamp over any trace representation; the ground-truth
 // replay and its timestamp write-back run through the Source path, so
 // array-of-structs and columnar builds stamp bit-identically.
+//
+// Params.Noise perturbs only this execution: a non-zero configuration
+// jitters the machine's per-link bandwidths, slows heterogeneous
+// nodes, and scales the OS-noise model, all seeded — the prediction
+// replays still run on the nominal machine, so the variability ends up
+// embedded in the "measured" times exactly as it would in a real
+// collection. A zero Noise takes the identical code path and floats as
+// before the field existed (TestZeroNoiseGroundTruthUnchanged).
 func stampSource(src trace.Source, p Params, lim Limits) error {
 	mach, err := machine.New(p.Machine, p.Ranks, p.RanksPerNode)
 	if err != nil {
 		return err
+	}
+	perturb := mpisim.DefaultNoise(p.Seed, p.Ranks)
+	if !p.Noise.IsZero() {
+		mach.ApplyVariability(machine.Variability{
+			LinkJitter: p.Noise.LinkJitter,
+			NodeHetero: p.Noise.NodeHetero,
+			Seed:       noiseSeed(p),
+		})
+		perturb = mpisim.VariabilityNoise(noiseSeed(p), p.Ranks, p.Noise.OSNoise, mach.RankSpeeds())
 	}
 	meta := src.TraceMeta()
 	if meta.RanksPerNode == 0 {
@@ -104,7 +121,7 @@ func stampSource(src trace.Source, p Params, lim Limits) error {
 	}
 	_, err = mpisim.ReplaySource(src, simnet.PacketFlow, mach, simnet.Config{}, mpisim.Options{
 		Record:    true,
-		Perturb:   mpisim.DefaultNoise(p.Seed, p.Ranks),
+		Perturb:   perturb,
 		Deadline:  lim.Deadline,
 		MaxEvents: lim.MaxEvents,
 		Cancel:    lim.Cancel,
@@ -113,4 +130,11 @@ func stampSource(src trace.Source, p Params, lim Limits) error {
 		return fmt.Errorf("workload: ground-truth execution of %s: %w", meta.ID(), err)
 	}
 	return nil
+}
+
+// noiseSeed isolates the platform-variability draws: the trace seed
+// keeps distinct traces on independent streams, and Noise.Seed lets a
+// sweep resample one trace's platform at the same amplitudes.
+func noiseSeed(p Params) int64 {
+	return p.Seed ^ (p.Noise.Seed+1)*-0x61c8864680b583eb // golden-ratio odd constant
 }

@@ -35,28 +35,53 @@ var allApps = []string{
 	"CNS", "CMC", "Nekbone", "MultiGrid", "FillBoundary",
 }
 
+// SuiteMachine is the manifest's deterministic machine-rotation
+// policy: the global manifest index rotates over the three systems,
+// except that jobs above 1024 ranks skip Cielito (a 64-node, 1024-core
+// machine) and land on Hopper. Campaign specs reference it as
+// `machine: rotate`.
+func SuiteMachine(index, ranks int) string {
+	m := suiteMachines[index%len(suiteMachines)]
+	if m == "cielito" && ranks > 1024 {
+		m = "hopper"
+	}
+	return m
+}
+
+// SuiteSeed is the manifest's derived-seed policy: a hash of the
+// scenario coordinates plus the global manifest index, so every trace
+// gets an independent noise/generator stream and re-orderings of the
+// manifest are detectable. Campaign specs reference it as
+// `seed: derived`.
+func SuiteSeed(app, class string, ranks int, machine string, index int) int64 {
+	return hashName(app) ^ int64(ranks)<<17 ^ hashName(class) ^ hashName(machine) ^ int64(index)<<37
+}
+
+// SuiteIters is the manifest's iteration-count policy: large runs trim
+// outer iterations to keep ground-truth stamping affordable (0 means
+// the app default). Campaign specs reference it as `iters: auto`.
+func SuiteIters(ranks int) int {
+	switch {
+	case ranks >= 1024:
+		return 3
+	case ranks >= 512:
+		return 4
+	}
+	return 0
+}
+
 // Suite returns the 235 trace parameter sets of the study.
 func Suite() []Params {
 	var out []Params
 	add := func(app, class string, ranks int) {
-		m := suiteMachines[len(out)%len(suiteMachines)]
-		if m == "cielito" && ranks > 1024 {
-			m = "hopper" // Cielito is a 64-node (1024-core) machine
-		}
-		iters := 0
-		switch {
-		case ranks >= 1024:
-			iters = 3
-		case ranks >= 512:
-			iters = 4
-		}
+		m := SuiteMachine(len(out), ranks)
 		out = append(out, Params{
 			App:     app,
 			Class:   class,
 			Ranks:   ranks,
 			Machine: m,
-			Seed:    hashName(app) ^ int64(ranks)<<17 ^ hashName(class) ^ hashName(m) ^ int64(len(out))<<37,
-			Iters:   iters,
+			Seed:    SuiteSeed(app, class, ranks, m, len(out)),
+			Iters:   SuiteIters(ranks),
 		})
 	}
 
@@ -127,11 +152,20 @@ func Suite() []Params {
 // SuiteSmall returns a reduced manifest (every nth trace, ranks capped)
 // for tests and quick studies.
 func SuiteSmall(stride, maxRanks int) []Params {
+	return Filter(Suite(), stride, maxRanks)
+}
+
+// Filter reduces any manifest the way SuiteSmall reduces the study
+// manifest: keep every stride-th entry (stride < 1 means every entry),
+// then drop traces above maxRanks (0 = no cap). Spec-driven campaigns
+// apply it after compilation, so -stride/-maxranks keep working as
+// manifest filters under -spec.
+func Filter(ps []Params, stride, maxRanks int) []Params {
 	if stride < 1 {
 		stride = 1
 	}
 	var out []Params
-	for i, p := range Suite() {
+	for i, p := range ps {
 		if i%stride != 0 {
 			continue
 		}

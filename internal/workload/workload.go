@@ -30,7 +30,40 @@ import (
 // output — content-addressed caches fold it into their keys, so a bump
 // invalidates every cached trace instead of silently replaying stale
 // ground truth.
-const SchemaVersion = 1
+//
+// Version 2: Params grew the Noise sub-struct (platform variability as
+// a swept campaign axis). A zero Noise stamps bit-identically to
+// version 1, but the cache key space must not collide with entries
+// keyed before the field existed.
+const SchemaVersion = 2
+
+// Noise selects the platform-variability model applied while stamping
+// ground truth — the swept axis of the variability study. The zero
+// value reproduces the historical stamping exactly (the paper's fixed
+// collection conditions); non-zero amplitudes perturb only the
+// ground-truth execution, never the prediction replays, so they widen
+// the gap every scheme is measured against.
+type Noise struct {
+	// LinkJitter is the sigma of the lognormal per-link bandwidth
+	// multiplier drawn once per link of the ground-truth machine
+	// (0 = every link at nominal bandwidth).
+	LinkJitter float64 `json:",omitempty"`
+	// NodeHetero is the amplitude of heterogeneous node speeds: each
+	// node's compute runs slower by a factor drawn uniformly from
+	// [1, 1+NodeHetero] (0 = homogeneous nodes).
+	NodeHetero float64 `json:",omitempty"`
+	// OSNoise scales the OS-noise model's spike probability, compute
+	// jitter sigma, and per-call overhead jitter by (1 + OSNoise)
+	// (0 = the paper-default noise model unchanged).
+	OSNoise float64 `json:",omitempty"`
+	// Seed offsets the noise draws from the trace seed, so a sweep can
+	// resample the same amplitudes with independent streams.
+	Seed int64 `json:",omitempty"`
+}
+
+// IsZero reports whether n is the zero (historical, noise-default)
+// configuration.
+func (n Noise) IsZero() bool { return n == Noise{} }
 
 // Params selects one generated trace.
 type Params struct {
@@ -50,6 +83,9 @@ type Params struct {
 	Seed int64
 	// Iters overrides the app's default iteration count when > 0.
 	Iters int
+	// Noise is the platform-variability configuration the ground-truth
+	// stamper applies; the zero value is the historical fixed platform.
+	Noise Noise `json:",omitzero"`
 }
 
 // generator builds the program for one application.
